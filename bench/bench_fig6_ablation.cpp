@@ -1,0 +1,135 @@
+// Reproduces Fig. 6: ablation study — re-pretrains NetTAG with each
+// component removed and reports all four downstream tasks.
+//
+// Paper reference (directional):
+//  * w/o text attributes  -> largest drop, especially on functional tasks;
+//  * w/o obj #1 (expr CL) -> biggest hit on functional tasks;
+//  * w/o #2.1 / #2.2      -> hurts both task families;
+//  * w/o #2.3 (size)      -> strongest effect on physical tasks;
+//  * w/o cross-stage align-> notable drop on all four tasks.
+#include <iostream>
+
+#include "common.hpp"
+#include "tasks/task1.hpp"
+#include "tasks/task2.hpp"
+#include "tasks/task3.hpp"
+#include "tasks/task4.hpp"
+
+using namespace nettag;
+
+namespace {
+
+struct ArmScores {
+  double t1_acc = 0;   // higher better
+  double t2_acc = 0;   // higher better
+  double t3_r = 0;     // higher better
+  double t4_mape = 0;  // lower better
+};
+
+constexpr int kSeeds = 3;  ///< arms are averaged over seeds to tame variance
+
+ArmScores run_arm(const char* name, const NetTagConfig& config,
+                  const PretrainOptions& pretrain_options) {
+  ArmScores scores;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    std::printf("-- arm: %s (seed %d/%d)\n", name, seed + 1, kSeeds);
+    bench::Setup s = bench::make_setup(5, pretrain_options, config,
+                                       20250705 + 131 * seed);
+    // Ablation compares NetTAG arms; skip (re)training the task baselines.
+    {
+      Task1Options o;
+      o.gnn_steps = 1;
+      scores.t1_acc += run_task1(*s.model, s.corpus, o, s.rng).nettag_avg.accuracy;
+    }
+    {
+      Task2Options o;
+      o.gnn_steps = 1;
+      scores.t2_acc +=
+          run_task2(*s.model, s.corpus, o, s.rng).nettag_avg.balanced_accuracy;
+    }
+    {
+      Task3Options o;
+      o.gnn_steps = 1;
+      scores.t3_r += run_task3(*s.model, s.corpus, o, s.rng).nettag_avg.pearson_r;
+    }
+    {
+      Task4Options o;
+      o.gnn_steps = 1;
+      const Task4Result r = run_task4(*s.model, s.corpus, o, s.rng);
+      scores.t4_mape += (r.area_wo_opt.nettag.mape + r.area_w_opt.nettag.mape +
+                         r.power_wo_opt.nettag.mape + r.power_w_opt.nettag.mape) /
+                        4.0;
+    }
+  }
+  scores.t1_acc /= kSeeds;
+  scores.t2_acc /= kSeeds;
+  scores.t3_r /= kSeeds;
+  scores.t4_mape /= kSeeds;
+  return scores;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Fig. 6: ablation study (NetTAG arms only) ==\n";
+
+  struct Arm {
+    const char* name;
+    NetTagConfig config;
+    PretrainOptions pretrain;
+  };
+  // Reduced pre-training budget so seven full arms stay tractable.
+  PretrainOptions base;
+  base.expr_steps = 140;
+  base.tag_steps = 110;
+  base.aux_steps = 40;
+  base.max_cones = 120;
+
+  std::vector<Arm> arms;
+  arms.push_back({"full NetTAG", {}, base});
+  {
+    Arm a{"w/o text attributes", {}, base};
+    a.config.use_text_attributes = false;
+    arms.push_back(a);
+  }
+  {
+    Arm a{"w/o #1 expr contrastive", {}, base};
+    a.pretrain.objective_expr_cl = false;
+    arms.push_back(a);
+  }
+  {
+    Arm a{"w/o #2.1 masked gate", {}, base};
+    a.pretrain.objective_mask = false;
+    arms.push_back(a);
+  }
+  {
+    Arm a{"w/o #2.2 graph contrastive", {}, base};
+    a.pretrain.objective_graph_cl = false;
+    arms.push_back(a);
+  }
+  {
+    Arm a{"w/o #2.3 size prediction", {}, base};
+    a.pretrain.objective_size = false;
+    arms.push_back(a);
+  }
+  {
+    Arm a{"w/o cross-stage align", {}, base};
+    a.pretrain.objective_align = false;
+    arms.push_back(a);
+  }
+
+  TextTable table;
+  table.set_header({"Arm", "T1 Acc(%)", "T2 BalAcc(%)", "T3 R",
+                    "T4 MAPE(%) (lower=better)"});
+  ArmScores full;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmScores sc = run_arm(arms[i].name, arms[i].config, arms[i].pretrain);
+    if (i == 0) full = sc;
+    table.add_row({arms[i].name, pct(100 * sc.t1_acc), pct(100 * sc.t2_acc),
+                   fmt(sc.t3_r, 2), pct(sc.t4_mape)});
+  }
+  table.print(std::cout);
+  std::cout << "# paper shape: every ablated arm is worse than full NetTAG "
+               "on at least one task family\n";
+  return 0;
+}

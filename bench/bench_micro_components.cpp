@@ -1,0 +1,125 @@
+// Component micro-benchmarks (google-benchmark): throughput of the pipeline
+// stages the paper's runtime analysis attributes cost to (Table VI
+// discussion) plus the k-hop sweep behind the paper's footnote 3 ("we choose
+// 2-hop to balance the expression expansion and runtime").
+#include <benchmark/benchmark.h>
+
+#include "core/nettag.hpp"
+#include "core/tag.hpp"
+#include "expr/tokenizer.hpp"
+#include "expr/transform.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/cone.hpp"
+#include "physical/flow.hpp"
+#include "rtlgen/generator.hpp"
+
+using namespace nettag;
+
+namespace {
+
+const Netlist& sample_netlist() {
+  static const Netlist nl = [] {
+    Rng rng(99);
+    return generate_design(family_profile("vexriscv"), rng, "micro").netlist;
+  }();
+  return nl;
+}
+
+void BM_KhopExpression(benchmark::State& state) {
+  const Netlist& nl = sample_netlist();
+  const int k = static_cast<int>(state.range(0));
+  std::size_t total_size = 0, count = 0;
+  for (auto _ : state) {
+    for (const Gate& g : nl.gates()) {
+      if (gate_class_of(g.type) < 0) continue;
+      ExprPtr e = khop_expression(nl, g.id, k);
+      total_size += e->size();
+      ++count;
+      benchmark::DoNotOptimize(e);
+    }
+  }
+  state.counters["avg_expr_nodes"] =
+      static_cast<double>(total_size) / static_cast<double>(std::max<std::size_t>(count, 1));
+}
+BENCHMARK(BM_KhopExpression)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EquivalenceTransform(benchmark::State& state) {
+  Rng rng(5);
+  auto e = parse_expr("!((a^b)|((c&d)^!(a|d)))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_equivalent(e, rng, 3));
+  }
+}
+BENCHMARK(BM_EquivalenceTransform);
+
+void BM_ConeChunking(benchmark::State& state) {
+  const Netlist& nl = sample_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_register_cones(nl, 120));
+  }
+}
+BENCHMARK(BM_ConeChunking);
+
+void BM_TagBuild(benchmark::State& state) {
+  const Netlist& nl = sample_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_tag(nl, 2));
+  }
+}
+BENCHMARK(BM_TagBuild);
+
+void BM_Tokenizer(benchmark::State& state) {
+  const std::string text =
+      "gate U3 type nor2 phys area b2 leak b3 expr U3 = !((R1^R2)|!R2)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenize_text(text));
+  }
+}
+BENCHMARK(BM_Tokenizer);
+
+void BM_ExprLlmEncode(benchmark::State& state) {
+  static NetTag model(NetTagConfig{}, 7);
+  const Netlist& nl = sample_netlist();
+  const TagGraph tag = build_tag(nl, 2);
+  for (auto _ : state) {
+    model.clear_text_cache();
+    benchmark::DoNotOptimize(model.input_features(tag, Mat()));
+  }
+  state.counters["gates"] = static_cast<double>(nl.size());
+}
+BENCHMARK(BM_ExprLlmEncode);
+
+void BM_TagFormerForward(benchmark::State& state) {
+  static NetTag model(NetTagConfig{}, 7);
+  const Netlist& nl = sample_netlist();
+  const TagGraph tag = build_tag(nl, 2);
+  const Mat feats = model.input_features(tag, Mat());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward_features(feats, tag.edges));
+  }
+  state.counters["nodes"] = static_cast<double>(nl.size());
+}
+BENCHMARK(BM_TagFormerForward);
+
+void BM_PhysicalFlow(benchmark::State& state) {
+  const Netlist& nl = sample_netlist();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_physical_flow(nl, rng, /*optimize=*/false, 0.0,
+                          static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PhysicalFlow)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_AigConversion(benchmark::State& state) {
+  const Netlist& nl = sample_netlist();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(to_aig(nl));
+  }
+}
+BENCHMARK(BM_AigConversion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

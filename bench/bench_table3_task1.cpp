@@ -1,0 +1,43 @@
+// Reproduces Table III: Task 1 — combinational gate function identification,
+// NetTAG vs the GNN-RE-style supervised baseline, per held-out design.
+//
+// Paper reference (Table III): GNN-RE avg Acc 83 / Prec 86 / Rec 83 / F1 82;
+// NetTAG avg 97 / 97 / 97 / 96 — NetTAG wins on every design. At our scale
+// the absolute numbers are lower; the reproduced claim is the *ordering*
+// (NetTAG > GNN-RE on average and on most designs).
+#include <iostream>
+
+#include "common.hpp"
+#include "tasks/task1.hpp"
+
+using namespace nettag;
+
+int main() {
+  bench::Setup s = bench::make_setup();
+  Task1Options options;
+  Task1Result res = run_task1(*s.model, s.corpus, options, s.rng);
+
+  std::cout << "== Table III: Task1 combinational gate function "
+               "identification ==\n";
+  TextTable table;
+  table.set_header({"Design", "GNNRE Acc", "Prec", "Rec", "F1",  //
+                    "NetTAG Acc", "Prec", "Rec", "F1"});
+  auto add = [&](const std::string& name, const ClassificationReport& g,
+                 const ClassificationReport& n) {
+    table.add_row({name, pct(100 * g.accuracy), pct(100 * g.precision),
+                   pct(100 * g.recall), pct(100 * g.f1), pct(100 * n.accuracy),
+                   pct(100 * n.precision), pct(100 * n.recall), pct(100 * n.f1)});
+  };
+  for (const Task1Row& row : res.rows) add(row.design, row.gnnre, row.nettag);
+  table.add_separator();
+  add("Avg.", res.gnnre_avg, res.nettag_avg);
+  table.print(std::cout);
+  std::cout << "# paper: GNN-RE avg acc 83, NetTAG avg acc 97 (NetTAG wins)\n"
+            << "# reproduced ordering: NetTAG "
+            << (res.nettag_avg.accuracy > res.gnnre_avg.accuracy ? "WINS"
+                                                                 : "LOSES")
+            << " on average accuracy ("
+            << pct(100 * res.nettag_avg.accuracy) << " vs "
+            << pct(100 * res.gnnre_avg.accuracy) << ")\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Table IV (right): Task 3 — endpoint register slack prediction
+// at the netlist stage, NetTAG vs the timing-GNN baseline adapted from [2].
+//
+// Paper reference: GNN avg R 0.90 / MAPE 17; NetTAG avg R 0.92 / MAPE 15 —
+// a small but consistent edge (both are decent because both consume
+// netlist-stage timing estimates; the hard part is the layout-optimization
+// restructuring).
+#include <iostream>
+
+#include "common.hpp"
+#include "tasks/task3.hpp"
+
+using namespace nettag;
+
+int main() {
+  bench::Setup s = bench::make_setup();
+  Task3Options options;
+  Task3Result res = run_task3(*s.model, s.corpus, options, s.rng);
+
+  std::cout << "== Table IV (right): Task3 endpoint register slack "
+               "prediction ==\n";
+  TextTable table;
+  table.set_header({"Design", "GNN R", "MAPE(%)", "NetTAG R", "MAPE(%)"});
+  auto add = [&](const std::string& name, const RegressionReport& g,
+                 const RegressionReport& n) {
+    table.add_row({name, fmt(g.pearson_r, 2), pct(g.mape), fmt(n.pearson_r, 2),
+                   pct(n.mape)});
+  };
+  for (const Task3Row& row : res.rows) add(row.design, row.gnn, row.nettag);
+  table.add_separator();
+  add("Avg.", res.gnn_avg, res.nettag_avg);
+  table.print(std::cout);
+  std::cout << "# paper: GNN R 0.90 / MAPE 17, NetTAG R 0.92 / MAPE 15 "
+               "(close, NetTAG slightly ahead)\n"
+            << "# reproduced: NetTAG R " << fmt(res.nettag_avg.pearson_r, 2)
+            << " vs GNN R " << fmt(res.gnn_avg.pearson_r, 2) << ", MAPE "
+            << pct(res.nettag_avg.mape) << " vs " << pct(res.gnn_avg.mape)
+            << "\n";
+  return 0;
+}

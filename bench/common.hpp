@@ -1,0 +1,49 @@
+// Shared setup for the table/figure reproduction benches: builds the corpus,
+// constructs and pre-trains NetTAG with fixed seeds so every bench is
+// deterministic and self-contained.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "core/pretrain.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace nettag::bench {
+
+struct Setup {
+  Corpus corpus;
+  std::unique_ptr<NetTag> model;
+  Rng rng{0};
+  PretrainReport pretrain_report;
+};
+
+/// Standard experiment setup. `designs_per_family` controls corpus size;
+/// pass a customized PretrainOptions/NetTagConfig for ablation/scaling arms.
+inline Setup make_setup(int designs_per_family = 6,
+                        PretrainOptions pretrain_options = {},
+                        NetTagConfig model_config = {},
+                        std::uint64_t seed = 20250705) {
+  Setup s;
+  s.rng = Rng(seed);
+  CorpusOptions co;
+  co.designs_per_family = designs_per_family;
+  Timer t;
+  s.corpus = build_corpus(co, s.rng);
+  std::printf("# corpus: %zu designs (%.1fs)\n", s.corpus.designs.size(),
+              t.seconds());
+  t.reset();
+  s.model = std::make_unique<NetTag>(model_config, seed ^ 0xabcd);
+  s.pretrain_report = pretrain(*s.model, s.corpus, pretrain_options, s.rng);
+  std::printf(
+      "# pretrain: expr loss %.3f -> %.3f (%zu exprs), tag loss %.3f -> %.3f "
+      "(%zu cones), %.1fs\n",
+      s.pretrain_report.expr_loss_first, s.pretrain_report.expr_loss_last,
+      s.pretrain_report.expr_dataset_size, s.pretrain_report.tag_loss_first,
+      s.pretrain_report.tag_loss_last, s.pretrain_report.cones_used,
+      s.pretrain_report.seconds_step1 + s.pretrain_report.seconds_step2);
+  return s;
+}
+
+}  // namespace nettag::bench

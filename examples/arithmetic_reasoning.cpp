@@ -1,0 +1,156 @@
+// Fig. 8 demo: reasoning about a netlist's arithmetic function.
+//
+// The paper shows that an LLM asked to interpret a flattened netlist fails,
+// but succeeds when NetTAG first annotates each gate with its functional
+// block. We reproduce the *integration*: build the paper's demo circuit
+// (compare two 2-bit values, add them, multiply them, select a result by the
+// comparison), run NetTAG gate-function identification, and feed the
+// predicted block inventory to a rule-based narrator that plays the LLM's
+// role. Without the annotations the narrator only sees an undifferentiated
+// gate soup; with them it recovers the module's arithmetic behaviour.
+#include <iostream>
+#include <map>
+
+#include "core/pretrain.hpp"
+#include "rtlgen/synthesizer.hpp"
+#include "tasks/finetune.hpp"
+#include "tasks/labels.hpp"
+#include "tasks/task1.hpp"
+
+using namespace nettag;
+
+namespace {
+
+/// The paper's demo module: out = (a < b) ? (a + b) : (a * b).
+Netlist demo_circuit() {
+  Synthesizer syn("demo_arith");
+  Bus a = syn.input("a", 3);
+  Bus b = syn.input("b", 3);
+  Bus lt = syn.cmp_lt(a, b);
+  Bus sum = syn.add(a, b);
+  Bus prod = syn.mul(a, b);
+  Bus out = syn.mux(prod, sum, lt);
+  syn.mark_outputs(out);
+  return syn.take_netlist();
+}
+
+/// Rule-based narrator standing in for the LLM of Fig. 8. It only states
+/// what the provided block inventory supports.
+void narrate(const std::map<std::string, int>& block_counts) {
+  if (block_counts.empty()) {
+    std::cout << "  \"This is a flat netlist of generic logic gates. I can "
+                 "describe the gate types,\n   but I cannot determine the "
+                 "arithmetic function they implement.\"\n";
+    return;
+  }
+  std::cout << "  \"The module contains:";
+  for (const auto& [block, count] : block_counts) {
+    std::cout << " " << block << " logic (" << count << " gates),";
+  }
+  std::cout << "\n   so it";
+  bool first = true;
+  auto say = [&](const char* clause) {
+    std::cout << (first ? " " : ", and ") << clause;
+    first = false;
+  };
+  if (block_counts.count("comparator")) say("compares two operands");
+  if (block_counts.count("adder")) say("computes their sum");
+  if (block_counts.count("multiplier")) say("computes their product");
+  if (block_counts.count("interconnect")) {
+    say("selects among the results (multiplexing)");
+  }
+  if (first) say("performs combinational logic I cannot further classify");
+  std::cout << ".\"\n";
+}
+
+}  // namespace
+
+int main() {
+  // Pre-train NetTAG and a Task-1 head on generated designs.
+  Rng rng(88);
+  CorpusOptions co;
+  co.designs_per_family = 4;
+  std::cout << "Pre-training NetTAG for gate-function identification...\n";
+  const Corpus corpus = build_corpus(co, rng);
+  NetTag model(NetTagConfig{}, 7);
+  PretrainOptions po;
+  po.expr_steps = 120;
+  po.tag_steps = 80;
+  po.aux_steps = 30;
+  pretrain(model, corpus, po, rng);
+
+  // Fine-tune the gate-function head on every generated design.
+  std::vector<Mat> x_parts;
+  std::vector<int> y;
+  for (const DesignSample& d : corpus.designs) {
+    const NetTag::ConeEmbedding emb = model.embed(d.gen.netlist);
+    std::vector<int> rows, labels;
+    task1_gate_labels(d.gen.netlist, &rows, &labels);
+    if (rows.empty()) continue;
+    Mat joined(static_cast<int>(rows.size()), emb.nodes.cols + emb.inputs.cols);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (int j = 0; j < emb.nodes.cols; ++j) {
+        joined.at(static_cast<int>(i), j) = emb.nodes.at(rows[i], j);
+      }
+      for (int j = 0; j < emb.inputs.cols; ++j) {
+        joined.at(static_cast<int>(i), emb.nodes.cols + j) = emb.inputs.at(rows[i], j);
+      }
+    }
+    x_parts.push_back(std::move(joined));
+    y.insert(y.end(), labels.begin(), labels.end());
+  }
+  FinetuneOptions fo;
+  fo.class_weighted = true;  // rare blocks (comparators, muxes) matter here
+  fo.steps = 2000;
+  ClassifierHead head(model.embedding_dim() + model.tag_in_dim(),
+                      static_cast<int>(task1_classes().size()), fo, rng);
+  head.fit(vstack(x_parts), y, rng);
+
+  // The demo netlist, flattened: no hierarchy, no labels at inference time.
+  const Netlist demo = demo_circuit();
+  std::cout << "\ndemo netlist: " << demo.size() << " gates, flattened (out = "
+            << "(a<b) ? a+b : a*b)\n";
+
+  std::cout << "\n-- LLM asked to interpret the raw flattened netlist "
+               "(paper: fails) --\n";
+  narrate({});
+
+  // NetTAG gate-function identification on the demo circuit.
+  const NetTag::ConeEmbedding emb = model.embed(demo);
+  std::vector<int> rows, truth;
+  task1_gate_labels(demo, &rows, &truth);
+  Mat x(static_cast<int>(rows.size()), emb.nodes.cols + emb.inputs.cols);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (int j = 0; j < emb.nodes.cols; ++j) {
+      x.at(static_cast<int>(i), j) = emb.nodes.at(rows[i], j);
+    }
+    for (int j = 0; j < emb.inputs.cols; ++j) {
+      x.at(static_cast<int>(i), emb.nodes.cols + j) = emb.inputs.at(rows[i], j);
+    }
+  }
+  const std::vector<int> pred = head.predict(x);
+  std::map<std::string, int> inventory;
+  for (int p : pred) inventory[task1_classes()[static_cast<std::size_t>(p)]]++;
+
+  std::cout << "\n-- NetTAG per-gate function identification --\n";
+  int correct = 0;
+  std::map<std::string, int> truth_inventory;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (pred[i] == truth[i]) ++correct;
+    truth_inventory[task1_classes()[static_cast<std::size_t>(truth[i])]]++;
+  }
+  for (const auto& [block, count] : inventory) {
+    std::cout << "  identified " << count << " gates as '" << block << "'\n";
+  }
+  std::cout << "  ground truth inventory:";
+  for (const auto& [block, count] : truth_inventory) {
+    std::cout << " " << block << "=" << count;
+  }
+  std::cout << "\n  (per-gate agreement: " << correct << "/" << rows.size()
+            << ")\n";
+
+  std::cout << "\n-- LLM asked again, now with NetTAG's annotations "
+               "(paper: succeeds) --\n";
+  narrate(inventory);
+  return 0;
+}

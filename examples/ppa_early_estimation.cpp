@@ -1,0 +1,72 @@
+// Early PPA estimation scenario (the paper's Tasks 3-4 use case): a designer
+// wants post-layout power/area/timing feedback *before* running the
+// multi-hour P&R flow. NetTAG embeddings of the freshly synthesized netlist,
+// plus the synthesis tool's own reports, predict sign-off metrics in
+// milliseconds.
+#include <iomanip>
+#include <iostream>
+
+#include "core/pretrain.hpp"
+#include "physical/flow.hpp"
+#include "tasks/task3.hpp"
+#include "tasks/task4.hpp"
+#include "util/timer.hpp"
+
+using namespace nettag;
+
+int main() {
+  Rng rng(31337);
+  CorpusOptions co;
+  co.designs_per_family = 6;
+  std::cout << "Building corpus with physical-design labels and pre-training "
+               "(about a minute)...\n";
+  const Corpus corpus = build_corpus(co, rng);
+  NetTag model(NetTagConfig{}, 7);
+  PretrainOptions po;
+  po.expr_steps = 120;
+  po.tag_steps = 100;
+  po.aux_steps = 30;
+  pretrain(model, corpus, po, rng);
+
+  std::cout << std::fixed << std::setprecision(2);
+
+  // --- circuit-level area/power forecast ------------------------------------
+  Task4Options t4;
+  const Task4Result ppa = run_task4(model, corpus, t4, rng);
+  std::cout << "\n== post-layout area forecast (held-out designs) ==\n"
+            << "  synthesis tool estimate: MAPE "
+            << ppa.area_w_opt.tool.mape << "% (w/ layout optimization)\n"
+            << "  NetTAG forecast:         MAPE "
+            << ppa.area_w_opt.nettag.mape << "%\n";
+  std::cout << "== post-layout power forecast ==\n"
+            << "  synthesis tool estimate: MAPE "
+            << ppa.power_w_opt.tool.mape << "%\n"
+            << "  NetTAG forecast:         MAPE "
+            << ppa.power_w_opt.nettag.mape << "%\n";
+
+  // --- endpoint timing forecast ----------------------------------------------
+  Task3Options t3;
+  t3.num_test_designs = 4;
+  const Task3Result slack = run_task3(model, corpus, t3, rng);
+  std::cout << "\n== sign-off endpoint slack forecast ==\n"
+            << "  NetTAG: R " << slack.nettag_avg.pearson_r << ", MAPE "
+            << slack.nettag_avg.mape << "%\n"
+            << "  timing GNN baseline: R " << slack.gnn_avg.pearson_r
+            << ", MAPE " << slack.gnn_avg.mape << "%\n";
+
+  // --- what the designer saves -----------------------------------------------
+  const Netlist& nl = corpus.designs.front().gen.netlist;
+  Rng flow_rng(1);
+  Timer t;
+  run_physical_flow(nl, flow_rng, /*optimize=*/true, 0.0, /*passes=*/40);
+  const double pr_seconds = t.seconds();
+  t.reset();
+  (void)model.embed_circuit(nl);
+  const double inference_seconds = t.seconds();
+  std::cout << "\n== runtime on " << nl.name() << " (single small design; "
+            << "the speedup grows with design size — see "
+            << "bench_table6_runtime) ==\n"
+            << "  full P&R flow: " << pr_seconds << "s\n"
+            << "  NetTAG inference: " << inference_seconds << "s\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+
+#include "expr/expr.hpp"
+#include "expr/tokenizer.hpp"
+#include "model/graph.hpp"
+
+namespace nettag {
+
+namespace {
+
+/// Builds the layout graph of one register cone from the implemented
+/// (post-layout) netlist: nodes/edges follow the implemented cone, features
+/// come from placement/parasitics/timing of the full implementation.
+LayoutGraph cone_layout_graph(const PhysicalResult& flow, GateId register_id,
+                              std::size_t max_cone_gates) {
+  const RegisterCone rc =
+      extract_cone(flow.implemented, register_id, max_cone_gates);
+  LayoutGraph lg;
+  lg.node_feats.resize(rc.cone.size());
+  for (const Gate& g : rc.cone.gates()) {
+    const GateId parent = rc.to_parent.at(g.id);
+    const std::size_t p = static_cast<std::size_t>(parent);
+    const NetParasitics& net = flow.parasitics.nets[p];
+    lg.node_feats[static_cast<std::size_t>(g.id)] = {
+        net.wire_cap,        net.wire_res,         net.load(),
+        flow.timing.gate_delay[p], flow.placement.x[p], flow.placement.y[p]};
+  }
+  for (const auto& [u, v] : netlist_edges(rc.cone)) lg.edges.emplace_back(u, v);
+  return lg;
+}
+
+}  // namespace
+
+Corpus build_corpus(const CorpusOptions& options, Rng& rng) {
+  Corpus corpus;
+  for (const FamilyProfile& profile : benchmark_families()) {
+    corpus.families.push_back(profile.name);
+    for (int d = 0; d < options.designs_per_family; ++d) {
+      DesignSample sample;
+      sample.gen = generate_design(
+          profile, rng, profile.name + "_d" + std::to_string(d));
+      const Netlist& nl = sample.gen.netlist;
+
+      PhysicalResult flow_opt;
+      if (options.with_physical) {
+        // Netlist-stage estimates (the synthesis "EDA tool" columns).
+        const ToolEstimate tool = synthesis_estimate(nl);
+        sample.tool_area = tool.area;
+        sample.tool_power = tool.power;
+        // Two label scenarios: plain P&R and optimizing P&R.
+        Rng flow_rng = rng.fork();
+        const PhysicalResult flow_plain = run_physical_flow(
+            nl, flow_rng, /*optimize=*/false, 0.0, options.placement_passes);
+        flow_opt = run_physical_flow(nl, flow_rng, /*optimize=*/true, 0.0,
+                                     options.placement_passes);
+        sample.area_wo_opt = flow_plain.area.total_area;
+        sample.power_wo_opt = flow_plain.power.total();
+        sample.area_w_opt = flow_opt.area.total_area;
+        sample.power_w_opt = flow_opt.power.total();
+        sample.pr_runtime_seconds =
+            flow_plain.runtime_seconds + flow_opt.runtime_seconds;
+      }
+
+      // Chunk into register cones (model inputs come from the *pre-layout*
+      // netlist; labels come from the optimized implementation).
+      for (GateId r : nl.registers()) {
+        ConeSample cone;
+        const RegisterCone rc = extract_cone(nl, r, options.max_cone_gates);
+        cone.cone = rc.cone;
+        cone.family = profile.name;
+        cone.design = nl.name();
+        cone.register_name = nl.gate(r).name;
+        cone.is_state_reg = nl.gate(r).is_state_reg;
+        auto it = sample.gen.reg_rtl.find(cone.register_name);
+        if (it != sample.gen.reg_rtl.end()) cone.rtl_text = it->second;
+        if (options.with_physical) {
+          const GateId impl_reg = flow_opt.implemented.find(cone.register_name);
+          if (impl_reg != kNoGate) {
+            cone.clock_period = flow_opt.timing.clock_period;
+            cone.slack_label =
+                flow_opt.timing.slack[static_cast<std::size_t>(impl_reg)];
+            cone.layout =
+                cone_layout_graph(flow_opt, impl_reg, options.max_cone_gates);
+            cone.has_layout = true;
+          }
+        }
+        sample.cones.push_back(std::move(cone));
+      }
+      corpus.designs.push_back(std::move(sample));
+    }
+  }
+  return corpus;
+}
+
+std::vector<std::string> collect_expressions(const Corpus& corpus, int k_hop,
+                                             std::size_t max_per_design) {
+  std::vector<std::string> out;
+  for (const DesignSample& d : corpus.designs) {
+    std::size_t taken = 0;
+    for (const ConeSample& c : d.cones) {
+      for (const Gate& g : c.cone.gates()) {
+        if (gate_class_of(g.type) < 0) continue;  // logic gates only
+        if (taken >= max_per_design) break;
+        out.push_back(to_string(khop_expression(c.cone, g.id, k_hop)));
+        ++taken;
+      }
+      if (taken >= max_per_design) break;
+    }
+  }
+  return out;
+}
+
+std::vector<FamilyStats> corpus_statistics(const Corpus& corpus, int k_hop) {
+  std::vector<FamilyStats> stats;
+  for (const std::string& family : corpus.families) {
+    FamilyStats fs;
+    fs.family = family;
+    double token_sum = 0, node_sum = 0;
+    for (const DesignSample& d : corpus.designs) {
+      if (d.gen.netlist.source() != family) continue;
+      for (const ConeSample& c : d.cones) {
+        fs.cone_count += 1;
+        node_sum += static_cast<double>(c.cone.size());
+        for (const Gate& g : c.cone.gates()) {
+          if (gate_class_of(g.type) < 0) continue;
+          const std::string expr =
+              to_string(khop_expression(c.cone, g.id, k_hop));
+          token_sum += static_cast<double>(tokenize_text(expr).size());
+          fs.expr_count += 1;
+        }
+      }
+    }
+    if (fs.expr_count) fs.avg_expr_tokens = token_sum / static_cast<double>(fs.expr_count);
+    if (fs.cone_count) fs.avg_cone_nodes = node_sum / static_cast<double>(fs.cone_count);
+    stats.push_back(fs);
+  }
+  return stats;
+}
+
+}  // namespace nettag

@@ -1,0 +1,160 @@
+#include "core/nettag.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "model/graph.hpp"
+#include "netlist/cone.hpp"
+#include "nn/serialize.hpp"
+
+namespace nettag {
+
+NetTag::NetTag(const NetTagConfig& config, std::uint64_t seed)
+    : config_(config), init_rng_(seed) {
+  expr_llm_ = std::make_unique<TextEncoder>(vocab_, config.expr_llm, init_rng_);
+  TagFormerConfig tf;
+  tf.in_dim = tag_in_dim();
+  tf.d_model = config.tag_d_model;
+  tf.num_layers = config.tag_layers;
+  tf.out_dim = config.out_dim;
+  tagformer_ = std::make_unique<TagFormer>(tf, init_rng_);
+}
+
+int NetTag::tag_in_dim() const {
+  const int text_dim = config_.use_text_attributes
+                           ? config_.expr_llm.out_dim
+                           : netlist_base_feature_dim();
+  return text_dim + netlist_phys_feature_dim();
+}
+
+std::vector<float> NetTag::cached_text_embedding(const std::string& attr) {
+  // Cache key: the anonymized token-id sequence, so attributes differing
+  // only by instance names share an entry.
+  const std::vector<int> ids =
+      encode_text(vocab_, attr, static_cast<std::size_t>(config_.expr_llm.max_len));
+  std::string key;
+  key.reserve(ids.size() * 2);
+  for (int id : ids) {
+    key.push_back(static_cast<char>(id & 0xff));
+    key.push_back(static_cast<char>((id >> 8) & 0xff));
+  }
+  auto it = text_cache_.find(key);
+  if (it != text_cache_.end()) return it->second;
+  const Tensor emb = expr_llm_->encode_ids(ids);
+  std::vector<float> row = emb->value.v;
+  text_cache_.emplace(std::move(key), row);
+  return row;
+}
+
+Mat NetTag::input_features(const TagGraph& tag, const Mat& base_feats) {
+  const int n = tag.num_nodes();
+  const int phys_dim = tag.phys.cols;
+  Mat feats(n, tag_in_dim());
+  if (config_.use_text_attributes) {
+    const int d = config_.expr_llm.out_dim;
+    for (int i = 0; i < n; ++i) {
+      const std::vector<float> row =
+          cached_text_embedding(tag.attrs[static_cast<std::size_t>(i)]);
+      assert(static_cast<int>(row.size()) == d);
+      for (int j = 0; j < d; ++j) feats.at(i, j) = row[static_cast<std::size_t>(j)];
+      for (int j = 0; j < phys_dim; ++j) feats.at(i, d + j) = tag.phys.at(i, j);
+    }
+  } else {
+    assert(base_feats.rows == n);
+    const int d = base_feats.cols;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) feats.at(i, j) = base_feats.at(i, j);
+      for (int j = 0; j < phys_dim; ++j) feats.at(i, d + j) = tag.phys.at(i, j);
+    }
+  }
+  return feats;
+}
+
+TagFormer::Output NetTag::forward_features(
+    const Mat& features, const std::vector<std::pair<int, int>>& edges) {
+  return forward_tensor(make_tensor(features, false), edges);
+}
+
+TagFormer::Output NetTag::forward_tensor(
+    const Tensor& features, const std::vector<std::pair<int, int>>& edges) {
+  const int n = features->value.rows;
+  Tensor adj = make_tensor(tag_adjacency(n, edges), false);
+  return tagformer_->forward(features, adj);
+}
+
+NetTag::ConeEmbedding NetTag::embed(const Netlist& nl, int k_hop_override) {
+  const TagGraph tag =
+      build_tag(nl, k_hop_override > 0 ? k_hop_override : config_.k_hop);
+  const Mat base = config_.use_text_attributes ? Mat() : netlist_base_features(nl);
+  const Mat feats = input_features(tag, base);
+  const TagFormer::Output out = forward_features(feats, tag.edges);
+  ConeEmbedding emb;
+  emb.nodes = out.nodes->value;
+  emb.cls = out.cls->value;
+  emb.inputs = feats;
+  return emb;
+}
+
+Mat NetTag::cone_feature(const Netlist& cone) {
+  const ConeEmbedding emb = embed(cone);
+  // Locate the cone's register (a cone has exactly one DFF); fall back to
+  // the last node for combinational snippets.
+  int reg_row = static_cast<int>(cone.size()) - 1;
+  for (const Gate& g : cone.gates()) {
+    if (g.type == CellType::kDff) {
+      reg_row = static_cast<int>(g.id);
+      break;
+    }
+  }
+  // Logic depth.
+  std::vector<int> depth(cone.size(), 0);
+  int max_depth = 0;
+  for (GateId id : cone.topo_order()) {
+    const Gate& g = cone.gate(id);
+    if (g.fanins.empty() || g.type == CellType::kDff) continue;
+    int d = 0;
+    for (GateId f : g.fanins) d = std::max(d, depth[static_cast<std::size_t>(f)] + 1);
+    depth[static_cast<std::size_t>(id)] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  Mat out(1, cone_feature_dim());
+  int at = 0;
+  for (int j = 0; j < config_.out_dim; ++j) out.at(0, at++) = emb.cls.at(0, j);
+  for (int j = 0; j < config_.out_dim; ++j) {
+    out.at(0, at++) = emb.nodes.at(reg_row, j);
+  }
+  for (int j = 0; j < emb.inputs.cols; ++j) {
+    out.at(0, at++) = emb.inputs.at(reg_row, j);
+  }
+  out.at(0, at++) = std::log1p(static_cast<float>(cone.size())) / 5.f;
+  out.at(0, at++) = static_cast<float>(max_depth) / 20.f;
+  return out;
+}
+
+Mat NetTag::embed_circuit(const Netlist& nl, std::size_t max_cone_gates) {
+  const std::vector<GateId> regs = nl.registers();
+  if (regs.empty()) {
+    return embed(nl).cls;
+  }
+  Mat sum(1, config_.out_dim);
+  for (GateId r : regs) {
+    const RegisterCone rc = extract_cone(nl, r, max_cone_gates);
+    const Mat cls = embed(rc.cone).cls;
+    for (int j = 0; j < config_.out_dim; ++j) sum.at(0, j) += cls.at(0, j);
+  }
+  return sum;
+}
+
+void NetTag::save(const std::string& path_prefix) const {
+  save_params(path_prefix + ".exprllm.bin", expr_llm_->params());
+  save_params(path_prefix + ".tagformer.bin", tagformer_->params());
+}
+
+void NetTag::load(const std::string& path_prefix) {
+  load_params(path_prefix + ".exprllm.bin", expr_llm_->params());
+  load_params(path_prefix + ".tagformer.bin", tagformer_->params());
+  clear_text_cache();
+}
+
+}  // namespace nettag

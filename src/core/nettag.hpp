@@ -1,0 +1,111 @@
+// NetTag: the foundation-model facade (paper §II-C, §II-F).
+//
+// Wraps ExprLLM (TextEncoder over gate text attributes) and TAGFormer into
+// one model that produces multi-granularity embeddings:
+//   * gate embeddings   — per-node outputs of TAGFormer,
+//   * cone embeddings   — the [CLS] output of a register cone,
+//   * circuit embeddings— [CLS] for combinational circuits, or the sum of
+//     register-cone embeddings for sequential circuits (paper §II-F).
+//
+// ExprLLM is frozen during TAGFormer pre-training (paper's two-step recipe);
+// a token-sequence-keyed cache makes the frozen text encoder cheap because
+// attribute tokenization anonymizes instance names, so structurally
+// identical attributes share one cache entry.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tag.hpp"
+#include "model/tagformer.hpp"
+#include "model/text_encoder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace nettag {
+
+struct NetTagConfig {
+  TextEncoderConfig expr_llm = TextEncoderConfig::base();
+  int tag_d_model = 64;
+  int tag_layers = 2;
+  int out_dim = 48;
+  int k_hop = 2;
+  /// Ablation switch ("w/o text attributes" arm of Fig. 6): when false, the
+  /// TAGFormer input uses structural one-hot features instead of ExprLLM
+  /// text embeddings.
+  bool use_text_attributes = true;
+};
+
+class NetTag {
+ public:
+  NetTag(const NetTagConfig& config, std::uint64_t seed);
+
+  const NetTagConfig& config() const { return config_; }
+  const Vocab& vocab() const { return vocab_; }
+  TextEncoder& expr_llm() { return *expr_llm_; }
+  TagFormer& tagformer() { return *tagformer_; }
+  int embedding_dim() const { return config_.out_dim; }
+
+  // --- inference API (values only) ---------------------------------------
+  struct ConeEmbedding {
+    Mat nodes;   ///< N x out_dim gate embeddings (TAGFormer-refined)
+    Mat cls;     ///< 1 x out_dim graph embedding
+    Mat inputs;  ///< N x tag_in_dim() raw input features (text emb | phys) —
+                 ///< fine-tuning heads may consume these alongside `nodes`
+  };
+
+  /// Embeds one (cone or flat) netlist. `k_hop_override` > 0 replaces the
+  /// configured expression depth (used for AIG data, where each library
+  /// cell spans several AND/INV levels).
+  ConeEmbedding embed(const Netlist& nl, int k_hop_override = 0);
+
+  /// Circuit-level embedding: [CLS] for combinational circuits, sum of
+  /// register-cone [CLS] embeddings for sequential ones (paper §II-F).
+  Mat embed_circuit(const Netlist& nl, std::size_t max_cone_gates = 120);
+
+  /// Register-cone feature row for fine-tuning (Tasks 2/3): the cone [CLS]
+  /// embedding, the register node's refined embedding, the register node's
+  /// raw input features (text-embedding + phys), and two netlist-stage
+  /// scalars (log gate count, logic depth). Width = cone_feature_dim().
+  Mat cone_feature(const Netlist& cone);
+  int cone_feature_dim() const { return 2 * config_.out_dim + tag_in_dim() + 2; }
+
+  // --- training-time API (keeps autograd graphs) ---------------------------
+  /// TAGFormer input features for a TAG: [text embedding | x_phys] rows
+  /// (constant — ExprLLM frozen, cached), or structural features in the
+  /// w/o-text ablation. `base_feats` must be provided when text is off.
+  Mat input_features(const TagGraph& tag, const Mat& base_feats);
+
+  /// Full forward through TAGFormer with autograd (for pre-training).
+  TagFormer::Output forward_features(const Mat& features,
+                                     const std::vector<std::pair<int, int>>& edges);
+
+  /// Forward from an already-built feature *tensor* (used by the masked-gate
+  /// objective, whose inputs mix constant rows with a learned [MASK] row).
+  TagFormer::Output forward_tensor(const Tensor& features,
+                                   const std::vector<std::pair<int, int>>& edges);
+
+  /// TAGFormer input width (text-emb + phys, or base + phys).
+  int tag_in_dim() const;
+
+  // --- persistence ---------------------------------------------------------
+  void save(const std::string& path_prefix) const;
+  void load(const std::string& path_prefix);
+
+  void clear_text_cache() { text_cache_.clear(); }
+  std::size_t text_cache_size() const { return text_cache_.size(); }
+
+ private:
+  /// Frozen text embedding of one attribute, cached by token-id sequence.
+  std::vector<float> cached_text_embedding(const std::string& attr);
+
+  NetTagConfig config_;
+  Vocab vocab_;
+  Rng init_rng_;
+  std::unique_ptr<TextEncoder> expr_llm_;
+  std::unique_ptr<TagFormer> tagformer_;
+  std::unordered_map<std::string, std::vector<float>> text_cache_;
+};
+
+}  // namespace nettag

@@ -1,0 +1,403 @@
+#include "core/pretrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "expr/expr.hpp"
+#include "expr/transform.hpp"
+#include "model/graph.hpp"
+#include "rtlgen/optimize.hpp"
+#include "util/timer.hpp"
+
+namespace nettag {
+
+namespace {
+
+/// Applies random equivalence rewrites to an expression *text* (parse ->
+/// transform -> print). Falls back to the original on parse failure (cannot
+/// happen for our own printer output, but keeps the trainer total).
+std::string transformed_expression(const std::string& text, int steps, Rng& rng) {
+  try {
+    return to_string(random_equivalent(parse_expr(text), rng, steps));
+  } catch (const std::exception&) {
+    return text;
+  }
+}
+
+/// Shuffles the statement lines of an RTL snippet (positive-pair
+/// augmentation for the RTL encoder).
+std::string shuffled_lines(const std::string& text, Rng& rng) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  rng.shuffle(lines);
+  std::ostringstream out;
+  for (const auto& l : lines) out << l << "\n";
+  return out.str();
+}
+
+/// Multiplicative jitter on layout node features (positive-pair
+/// augmentation for the layout encoder: same topology, perturbed RC values).
+Mat jittered_layout_features(const LayoutGraph& lg, Rng& rng) {
+  Mat f = layout_features(lg);
+  for (float& x : f.v) {
+    x *= static_cast<float>(1.0 + rng.normal(0.0, 0.08));
+  }
+  return f;
+}
+
+}  // namespace
+
+namespace {
+
+/// Static-analysis property vector of an expression: log1p of operator
+/// counts (AND/OR/XOR/NOT), tree depth, and support size.
+Mat expression_properties(const std::string& text) {
+  Mat y(1, 6);
+  try {
+    const ExprPtr e = parse_expr(text);
+    int n_and = 0, n_or = 0, n_xor = 0, n_not = 0;
+    std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& node) {
+      switch (node->kind()) {
+        case ExprKind::kAnd: ++n_and; break;
+        case ExprKind::kOr: ++n_or; break;
+        case ExprKind::kXor: ++n_xor; break;
+        case ExprKind::kNot: ++n_not; break;
+        default: break;
+      }
+      for (const auto& c : node->children()) walk(c);
+    };
+    walk(e);
+    y.at(0, 0) = std::log1p(static_cast<float>(n_and));
+    y.at(0, 1) = std::log1p(static_cast<float>(n_or));
+    y.at(0, 2) = std::log1p(static_cast<float>(n_xor));
+    y.at(0, 3) = std::log1p(static_cast<float>(n_not));
+    y.at(0, 4) = std::log1p(static_cast<float>(e->depth()));
+    y.at(0, 5) = std::log1p(static_cast<float>(support(e).size()));
+  } catch (const std::exception&) {
+    // Non-expression text (shouldn't happen for our printer output).
+  }
+  return y;
+}
+
+}  // namespace
+
+std::pair<float, float> pretrain_expr_encoder(
+    TextEncoder& encoder, const std::vector<std::string>& expressions,
+    const PretrainOptions& options, Rng& rng) {
+  if (expressions.empty() || options.expr_steps <= 0) return {0.f, 0.f};
+  Rng head_rng = rng.fork();
+  Mlp prop_head(encoder.config().out_dim, 32, 6, head_rng);
+  std::vector<Tensor> params = encoder.params();
+  if (options.objective_expr_props) {
+    for (const Tensor& p : prop_head.params()) params.push_back(p);
+  }
+  Adam opt(params, options.expr_lr);
+  float first = 0.f, last = 0.f;
+  for (int step = 0; step < options.expr_steps; ++step) {
+    std::vector<std::string> anchors, positives;
+    for (int b = 0; b < options.expr_batch; ++b) {
+      const std::string& e = expressions[rng.index(expressions.size())];
+      anchors.push_back(e);
+      positives.push_back(
+          transformed_expression(e, options.expr_transform_steps, rng));
+    }
+    Tensor a = encoder.encode_batch(anchors);
+    Tensor p = encoder.encode_batch(positives);
+    Tensor loss = info_nce(a, p, options.temperature);
+    if (options.objective_expr_props) {
+      Mat targets(static_cast<int>(anchors.size()), 6);
+      for (std::size_t i = 0; i < anchors.size(); ++i) {
+        const Mat y = expression_properties(anchors[i]);
+        for (int j = 0; j < 6; ++j) targets.at(static_cast<int>(i), j) = y.at(0, j);
+      }
+      loss = add(loss, mse_loss(prop_head.forward(a), targets));
+    }
+    backward(loss);
+    opt.step();
+    if (step == 0) first = loss->value.v[0];
+    last = loss->value.v[0];
+  }
+  return {first, last};
+}
+
+void pretrain_rtl_encoder(TextEncoder& encoder,
+                          const std::vector<std::string>& rtl_texts,
+                          const PretrainOptions& options, Rng& rng) {
+  if (rtl_texts.empty()) return;
+  Adam opt(encoder.params(), options.aux_lr);
+  for (int step = 0; step < options.aux_steps; ++step) {
+    std::vector<std::string> anchors, positives;
+    for (int b = 0; b < options.aux_batch; ++b) {
+      const std::string& t = rtl_texts[rng.index(rtl_texts.size())];
+      anchors.push_back(t);
+      positives.push_back(shuffled_lines(t, rng));
+    }
+    Tensor loss = info_nce(encoder.encode_batch(anchors),
+                           encoder.encode_batch(positives), options.temperature);
+    backward(loss);
+    opt.step();
+  }
+}
+
+void pretrain_layout_encoder(Gcn& encoder,
+                             const std::vector<LayoutGraph>& layouts,
+                             const PretrainOptions& options, Rng& rng) {
+  if (layouts.empty()) return;
+  Adam opt(encoder.params(), options.aux_lr);
+  for (int step = 0; step < options.aux_steps; ++step) {
+    std::vector<Tensor> anchors, positives;
+    for (int b = 0; b < options.aux_batch; ++b) {
+      const LayoutGraph& lg = layouts[rng.index(layouts.size())];
+      const int n = static_cast<int>(lg.node_feats.size());
+      if (n == 0) continue;
+      Tensor adj = make_tensor(normalized_adjacency(n, lg.edges), false);
+      anchors.push_back(encoder.forward_graph(
+          make_tensor(layout_features(lg), false), adj));
+      positives.push_back(encoder.forward_graph(
+          make_tensor(jittered_layout_features(lg, rng), false), adj));
+    }
+    if (anchors.size() < 2) continue;
+    Tensor loss = info_nce(concat_rows(anchors), concat_rows(positives),
+                           options.temperature);
+    backward(loss);
+    opt.step();
+  }
+}
+
+namespace {
+
+/// Everything precomputed once per cone for step 2.
+struct PreparedCone {
+  TagGraph tag;
+  Mat features;          ///< TAGFormer input (text emb | phys) — constant
+  TagGraph tag_aug;      ///< functionally-equivalent rewrite
+  Mat features_aug;
+  std::vector<int> gate_class;  ///< per node; -1 for non-logic
+  Mat size_target;              ///< 1 x num_gate_classes, log1p counts
+  Mat rtl_emb;                  ///< 1 x out_dim (frozen RTL encoder), may be empty
+  Mat layout_emb;               ///< 1 x out_dim (frozen layout encoder), may be empty
+};
+
+Mat size_target_of(const Netlist& nl) {
+  Mat t(1, num_gate_classes());
+  for (const Gate& g : nl.gates()) {
+    const int cls = gate_class_of(g.type);
+    if (cls >= 0) t.at(0, cls) += 1.f;
+  }
+  for (float& x : t.v) x = std::log1p(x);
+  return t;
+}
+
+}  // namespace
+
+PretrainReport pretrain(NetTag& model, const Corpus& corpus,
+                        const PretrainOptions& options, Rng& rng) {
+  PretrainReport report;
+  Timer timer;
+
+  // ---------------- Step 1: ExprLLM expression contrastive -----------------
+  if (model.config().use_text_attributes && options.objective_expr_cl) {
+    std::vector<std::string> exprs =
+        collect_expressions(corpus, model.config().k_hop);
+    if (exprs.size() > options.max_expressions) {
+      rng.shuffle(exprs);
+      exprs.resize(options.max_expressions);
+    }
+    report.expr_dataset_size = exprs.size();
+    auto [first, last] =
+        pretrain_expr_encoder(model.expr_llm(), exprs, options, rng);
+    report.expr_loss_first = first;
+    report.expr_loss_last = last;
+    model.clear_text_cache();  // encoder weights changed
+  }
+  report.seconds_step1 = timer.seconds();
+  timer.reset();
+
+  // ---------------- Auxiliary encoders (alignment only) --------------------
+  std::unique_ptr<TextEncoder> rtl_encoder;
+  std::unique_ptr<Gcn> layout_encoder;
+  if (options.objective_align) {
+    Rng aux_rng = rng.fork();
+    rtl_encoder = std::make_unique<TextEncoder>(
+        model.vocab(), TextEncoderConfig::small(), aux_rng);
+    std::vector<std::string> rtl_texts;
+    std::vector<LayoutGraph> layouts;
+    for (const DesignSample& d : corpus.designs) {
+      for (const ConeSample& c : d.cones) {
+        if (!c.rtl_text.empty()) rtl_texts.push_back(c.rtl_text);
+        if (c.has_layout && !c.layout.node_feats.empty()) {
+          layouts.push_back(c.layout);
+        }
+      }
+    }
+    pretrain_rtl_encoder(*rtl_encoder, rtl_texts, options, aux_rng);
+    GcnConfig gc;
+    gc.in_dim = layout_feature_dim();
+    gc.out_dim = model.embedding_dim();
+    layout_encoder = std::make_unique<Gcn>(gc, aux_rng);
+    pretrain_layout_encoder(*layout_encoder, layouts, options, aux_rng);
+  }
+
+  // ---------------- Step 2: TAGFormer multi-objective ----------------------
+  // Gather cones (capped, shuffled for family balance).
+  std::vector<const ConeSample*> cones;
+  for (const DesignSample& d : corpus.designs) {
+    for (const ConeSample& c : d.cones) cones.push_back(&c);
+  }
+  rng.shuffle(cones);
+  if (cones.size() > options.max_cones) cones.resize(options.max_cones);
+  report.cones_used = cones.size();
+  if (cones.empty() || options.tag_steps <= 0) return report;
+
+  // Precompute per-cone artifacts (ExprLLM frozen => features are constant).
+  std::vector<PreparedCone> prepared;
+  prepared.reserve(cones.size());
+  for (const ConeSample* c : cones) {
+    PreparedCone p;
+    p.tag = build_tag(c->cone, model.config().k_hop);
+    const Mat base = model.config().use_text_attributes
+                         ? Mat()
+                         : netlist_base_features(c->cone);
+    p.features = model.input_features(p.tag, base);
+    // Functionally-equivalent augmentation (positive sample for #2.2).
+    Netlist aug = cleanup(logic_rewrite(c->cone, rng, 0.3));
+    p.tag_aug = build_tag(aug, model.config().k_hop);
+    const Mat base_aug = model.config().use_text_attributes
+                             ? Mat()
+                             : netlist_base_features(aug);
+    p.features_aug = model.input_features(p.tag_aug, base_aug);
+    p.gate_class.reserve(c->cone.size());
+    for (const Gate& g : c->cone.gates()) {
+      p.gate_class.push_back(gate_class_of(g.type));
+    }
+    p.size_target = size_target_of(c->cone);
+    if (options.objective_align && rtl_encoder && !c->rtl_text.empty()) {
+      p.rtl_emb = rtl_encoder->encode(c->rtl_text)->value;
+    }
+    if (options.objective_align && layout_encoder && c->has_layout &&
+        !c->layout.node_feats.empty()) {
+      const int n = static_cast<int>(c->layout.node_feats.size());
+      Tensor adj = make_tensor(normalized_adjacency(n, c->layout.edges), false);
+      p.layout_emb = layout_encoder
+                         ->forward_graph(make_tensor(layout_features(c->layout),
+                                                     false),
+                                         adj)
+                         ->value;
+    }
+    prepared.push_back(std::move(p));
+  }
+
+  // Pre-training heads.
+  Rng head_rng = rng.fork();
+  Mlp class_head(model.embedding_dim(), 64, num_gate_classes(), head_rng);
+  Mlp size_head(model.embedding_dim(), 64, num_gate_classes(), head_rng);
+  Tensor mask_emb = make_param(1, model.tag_in_dim(), head_rng, 0.5f);
+
+  std::vector<Tensor> params = model.tagformer().params();
+  for (const Tensor& t : class_head.params()) params.push_back(t);
+  for (const Tensor& t : size_head.params()) params.push_back(t);
+  params.push_back(mask_emb);
+  Adam opt(params, options.tag_lr);
+
+  for (int step = 0; step < options.tag_steps; ++step) {
+    // Sample a batch of cones.
+    std::vector<const PreparedCone*> batch;
+    for (int b = 0; b < options.graph_batch; ++b) {
+      batch.push_back(&prepared[rng.index(prepared.size())]);
+    }
+
+    std::vector<Tensor> losses;
+    std::vector<Tensor> cls_orig, cls_aug, rtl_rows, layout_rows;
+    bool all_aligned = true;
+
+    for (const PreparedCone* p : batch) {
+      TagFormer::Output out = model.forward_features(p->features, p->tag.edges);
+      cls_orig.push_back(out.cls);
+      // #2.3 size prediction on the graph embedding.
+      if (options.objective_size) {
+        losses.push_back(mse_loss(size_head.forward(out.cls), p->size_target));
+      }
+      if (options.objective_graph_cl) {
+        TagFormer::Output aug =
+            model.forward_features(p->features_aug, p->tag_aug.edges);
+        cls_aug.push_back(aug.cls);
+      }
+      if (p->rtl_emb.rows == 1) {
+        rtl_rows.push_back(make_tensor(p->rtl_emb, false));
+      } else {
+        all_aligned = false;
+      }
+      if (p->layout_emb.rows == 1) {
+        layout_rows.push_back(make_tensor(p->layout_emb, false));
+      } else {
+        all_aligned = false;
+      }
+    }
+
+    // #2.1 masked gate reconstruction on one cone per step.
+    if (options.objective_mask) {
+      const PreparedCone* p = batch[0];
+      std::vector<int> maskable;
+      for (std::size_t i = 0; i < p->gate_class.size(); ++i) {
+        if (p->gate_class[i] >= 0) maskable.push_back(static_cast<int>(i));
+      }
+      if (maskable.size() >= 2) {
+        const std::size_t k = std::max<std::size_t>(
+            1, static_cast<std::size_t>(options.mask_fraction *
+                                        static_cast<double>(maskable.size())));
+        const auto pick = rng.sample_indices(maskable.size(), k);
+        Mat zeroed = p->features;
+        Mat indicator(zeroed.rows, 1);
+        std::vector<int> mask_nodes, mask_labels;
+        for (std::size_t s : pick) {
+          const int node = maskable[s];
+          for (int j = 0; j < zeroed.cols; ++j) zeroed.at(node, j) = 0.f;
+          indicator.at(node, 0) = 1.f;
+          mask_nodes.push_back(node);
+          mask_labels.push_back(p->gate_class[static_cast<std::size_t>(node)]);
+        }
+        Tensor feats = add(make_tensor(zeroed, false),
+                           matmul(make_tensor(indicator, false), mask_emb));
+        TagFormer::Output masked = model.forward_tensor(feats, p->tag.edges);
+        std::vector<Tensor> rows;
+        for (int node : mask_nodes) {
+          rows.push_back(slice_rows(masked.nodes, node, 1));
+        }
+        losses.push_back(
+            cross_entropy(class_head.forward(concat_rows(rows)), mask_labels));
+      }
+    }
+
+    // #2.2 netlist graph contrastive.
+    if (options.objective_graph_cl && cls_aug.size() >= 2) {
+      losses.push_back(info_nce(concat_rows(cls_orig), concat_rows(cls_aug),
+                                options.temperature));
+    }
+    // #3 cross-stage alignment.
+    if (options.objective_align && all_aligned && cls_orig.size() >= 2) {
+      Tensor n_cls = concat_rows(cls_orig);
+      losses.push_back(
+          info_nce(n_cls, concat_rows(rtl_rows), options.temperature));
+      losses.push_back(
+          info_nce(n_cls, concat_rows(layout_rows), options.temperature));
+    }
+
+    if (losses.empty()) continue;
+    Tensor total = losses[0];
+    for (std::size_t i = 1; i < losses.size(); ++i) total = add(total, losses[i]);
+    backward(total);
+    opt.step();
+    if (step == 0) report.tag_loss_first = total->value.v[0];
+    report.tag_loss_last = total->value.v[0];
+  }
+  report.seconds_step2 = timer.seconds();
+  return report;
+}
+
+}  // namespace nettag

@@ -1,0 +1,90 @@
+// Self-supervised pre-training (paper §II-D, §II-E):
+//
+//   Step 1 — Objective #1: symbolic-expression contrastive learning for
+//            ExprLLM (InfoNCE over equivalence-transformed expression pairs).
+//   Step 2 — with ExprLLM frozen, TAGFormer trains on:
+//            #2.1 masked gate-type reconstruction (CE over logic-cell classes),
+//            #2.2 netlist graph contrastive learning (InfoNCE, positives are
+//                 functionally-equivalent rewrites),
+//            #2.3 netlist size prediction (MSE on per-class gate counts),
+//            #3   cross-stage contrastive alignment with frozen RTL and
+//                 layout encoder embeddings.
+//
+// Every objective has an on/off switch so the Fig. 6 ablation re-runs
+// pre-training with single objectives removed.
+#pragma once
+
+#include "core/dataset.hpp"
+#include "core/nettag.hpp"
+#include "model/gcn.hpp"
+#include "model/text_encoder.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+
+struct PretrainOptions {
+  // Step 1 (ExprLLM).
+  int expr_steps = 220;
+  int expr_batch = 8;
+  float expr_lr = 2e-3f;
+  int expr_transform_steps = 3;   ///< rewrite steps per positive sample
+  std::size_t max_expressions = 2400;
+  bool objective_expr_cl = true;  ///< #1
+  /// Auxiliary static-analysis objective in step 1: regress operator counts,
+  /// depth, and support size from the expression embedding. The paper's
+  /// ExprLLM starts from an 8B-parameter LLM that already "knows" Boolean
+  /// composition; training from scratch, this objective supplies that
+  /// inductive signal (documented as a substitution in DESIGN.md).
+  bool objective_expr_props = true;
+
+  // Step 2 (TAGFormer).
+  int tag_steps = 200;
+  int graph_batch = 6;
+  float tag_lr = 2e-3f;
+  float mask_fraction = 0.2f;
+  float temperature = 0.1f;
+  std::size_t max_cones = 160;
+  bool objective_mask = true;      ///< #2.1
+  bool objective_graph_cl = true;  ///< #2.2
+  bool objective_size = true;      ///< #2.3
+  bool objective_align = true;     ///< #3
+
+  // Auxiliary RTL / layout encoders (only needed when aligning).
+  int aux_steps = 50;
+  int aux_batch = 6;
+  float aux_lr = 2e-3f;
+};
+
+struct PretrainReport {
+  float expr_loss_first = 0, expr_loss_last = 0;
+  float tag_loss_first = 0, tag_loss_last = 0;
+  std::size_t expr_dataset_size = 0;
+  std::size_t cones_used = 0;
+  double seconds_step1 = 0, seconds_step2 = 0;
+};
+
+/// Pre-trains a TextEncoder with Objective #1 on an expression corpus.
+/// Returns (first, last) mean batch loss.
+std::pair<float, float> pretrain_expr_encoder(
+    TextEncoder& encoder, const std::vector<std::string>& expressions,
+    const PretrainOptions& options, Rng& rng);
+
+/// Contrastive pre-training for the auxiliary RTL text encoder (positives:
+/// statement-order-shuffled RTL).
+void pretrain_rtl_encoder(TextEncoder& encoder,
+                          const std::vector<std::string>& rtl_texts,
+                          const PretrainOptions& options, Rng& rng);
+
+/// Graph-contrastive pre-training for the auxiliary layout encoder
+/// (positives: parasitic-jittered copies of the same layout graph).
+void pretrain_layout_encoder(Gcn& encoder,
+                             const std::vector<LayoutGraph>& layouts,
+                             const PretrainOptions& options, Rng& rng);
+
+/// Full two-step pre-training of NetTAG on a corpus. Builds and trains the
+/// auxiliary encoders internally when alignment is enabled (they are used
+/// only during pre-training, per the paper).
+PretrainReport pretrain(NetTag& model, const Corpus& corpus,
+                        const PretrainOptions& options, Rng& rng);
+
+}  // namespace nettag

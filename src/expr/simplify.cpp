@@ -1,0 +1,146 @@
+#include "expr/simplify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nettag {
+
+namespace {
+
+bool is_const(const ExprPtr& e, bool value) {
+  return e->kind() == (value ? ExprKind::kConst1 : ExprKind::kConst0);
+}
+
+/// Structural fingerprint used for duplicate/complement detection among
+/// simplified siblings (children are already simplified, so printing is a
+/// faithful canonical-enough key for *identical* subtrees).
+std::string fingerprint(const ExprPtr& e) { return to_string(e); }
+
+ExprPtr simplify_nary(ExprKind kind, std::vector<ExprPtr> kids);
+
+ExprPtr simplify_rec(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kConst0:
+    case ExprKind::kConst1:
+    case ExprKind::kVar:
+      return e;
+    case ExprKind::kNot: {
+      ExprPtr c = simplify_rec(e->children()[0]);
+      if (c->kind() == ExprKind::kNot) return c->children()[0];  // !!x
+      if (is_const(c, false)) return Expr::constant(true);
+      if (is_const(c, true)) return Expr::constant(false);
+      if (c == e->children()[0]) return e;
+      return Expr::lnot(std::move(c));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor: {
+      std::vector<ExprPtr> kids;
+      kids.reserve(e->children().size());
+      for (const auto& c : e->children()) kids.push_back(simplify_rec(c));
+      return simplify_nary(e->kind(), std::move(kids));
+    }
+  }
+  return e;
+}
+
+ExprPtr simplify_nary(ExprKind kind, std::vector<ExprPtr> kids) {
+  // Associative flattening of same-kind children.
+  std::vector<ExprPtr> flat;
+  for (auto& k : kids) {
+    if (k->kind() == kind) {
+      for (const auto& g : k->children()) flat.push_back(g);
+    } else {
+      flat.push_back(std::move(k));
+    }
+  }
+
+  std::vector<ExprPtr> kept;
+  int xor_const_ones = 0;
+  for (auto& k : flat) {
+    if (kind == ExprKind::kAnd) {
+      if (is_const(k, false)) return Expr::constant(false);  // annihilator
+      if (is_const(k, true)) continue;                       // identity
+    } else if (kind == ExprKind::kOr) {
+      if (is_const(k, true)) return Expr::constant(true);
+      if (is_const(k, false)) continue;
+    } else {  // XOR
+      if (is_const(k, true)) {
+        ++xor_const_ones;
+        continue;
+      }
+      if (is_const(k, false)) continue;
+    }
+    kept.push_back(std::move(k));
+  }
+
+  // Duplicate / complement handling among kept children.
+  std::map<std::string, int> seen;  // fingerprint -> index in result
+  std::vector<ExprPtr> result;
+  for (auto& k : kept) {
+    const std::string fp = fingerprint(k);
+    if (kind == ExprKind::kXor) {
+      // x ^ x = 0: toggle membership.
+      auto it = seen.find(fp);
+      if (it != seen.end()) {
+        result[static_cast<std::size_t>(it->second)] = nullptr;
+        seen.erase(it);
+        continue;
+      }
+      seen[fp] = static_cast<int>(result.size());
+      result.push_back(std::move(k));
+      continue;
+    }
+    // AND/OR: idempotence x op x = x.
+    if (seen.count(fp)) continue;
+    // Complement: x op !x = annihilator for AND(0)/OR(1).
+    const std::string comp = k->kind() == ExprKind::kNot
+                                 ? fingerprint(k->children()[0])
+                                 : "!" + fp;
+    if (seen.count(comp)) {
+      return Expr::constant(kind == ExprKind::kOr);
+    }
+    seen[fp] = static_cast<int>(result.size());
+    result.push_back(std::move(k));
+  }
+  // Compact XOR-cancelled slots.
+  std::vector<ExprPtr> final_kids;
+  for (auto& k : result) {
+    if (k) final_kids.push_back(std::move(k));
+  }
+
+  if (kind == ExprKind::kXor && (xor_const_ones % 2)) {
+    // Fold an odd number of XOR-ed 1s into a negation of the rest.
+    if (final_kids.empty()) return Expr::constant(true);
+    ExprPtr rest = final_kids.size() == 1 ? final_kids[0]
+                                          : Expr::lxor(std::move(final_kids));
+    // !!x collapses via the NOT rule on re-simplification; do it inline.
+    if (rest->kind() == ExprKind::kNot) return rest->children()[0];
+    return Expr::lnot(std::move(rest));
+  }
+  if (final_kids.empty()) {
+    // Empty AND is the identity 1; empty OR/XOR is 0.
+    return Expr::constant(kind == ExprKind::kAnd);
+  }
+  if (final_kids.size() == 1) return final_kids[0];
+  switch (kind) {
+    case ExprKind::kAnd:
+      return Expr::land(std::move(final_kids));
+    case ExprKind::kOr:
+      return Expr::lor(std::move(final_kids));
+    default:
+      return Expr::lxor(std::move(final_kids));
+  }
+}
+
+}  // namespace
+
+ExprPtr simplify(const ExprPtr& e) {
+  ExprPtr out = simplify_rec(e);
+  // Size guarantee: local rules only remove or keep nodes, but guard anyway.
+  return out->size() <= e->size() ? out : e;
+}
+
+}  // namespace nettag

@@ -1,0 +1,18 @@
+// Local-rule Boolean expression simplification (the PySMT `simplify`
+// analog): constant folding, identity/annihilator elimination, associative
+// flattening, duplicate-child reduction, absorption, and double-negation
+// removal. Semantics-preserving and size-non-increasing; useful for
+// compacting k-hop cone expressions and as a normalization step before
+// structural comparison.
+#pragma once
+
+#include "expr/expr.hpp"
+
+namespace nettag {
+
+/// Returns a simplified expression computing the same function.
+/// Guarantees: semantically equal to the input, and tree size() is never
+/// larger than the input's.
+ExprPtr simplify(const ExprPtr& e);
+
+}  // namespace nettag

@@ -1,0 +1,171 @@
+#include "expr/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace nettag {
+
+namespace {
+
+// Keywords that survive tokenization verbatim (lower-cased). This is the
+// union of: gate/cell type names, attribute field names, and the RTL-level
+// vocabulary emitted by rtlgen. Any other identifier is anonymized.
+const std::vector<std::string>& attribute_keywords() {
+  static const std::vector<std::string> kw = {
+      // cell types (lower-cased names from the cell library)
+      "inv", "buf", "and2", "and3", "and4", "nand2", "nand3", "nand4", "or2",
+      "or3", "or4", "nor2", "nor3", "nor4", "xor2", "xnor2", "mux2", "aoi21",
+      "aoi22", "oai21", "oai22", "maj3", "dff", "const0", "const1", "port",
+      // attribute field names
+      "gate", "type", "expr", "area", "power", "leak", "delay", "cap", "res",
+      "load", "toggle", "prob", "slack", "fanin", "fanout", "drive", "phys",
+      "func", "name", "net", "cone", "depth", "level",
+      // RTL vocabulary (rtlgen pseudo-verilog)
+      "module", "endmodule", "assign", "if", "else", "case", "reg", "wire",
+      "input", "output", "always", "posedge", "clk", "rst", "begin", "end",
+      "add", "sub", "mul", "cmp", "mux", "shift", "rotate", "eq", "lt", "gt",
+      "sel", "out", "in", "state", "next", "fsm", "counter", "crc", "parity",
+      "encode", "decode", "lfsr", "alu", "datapath", "control", "bitwise",
+      "reduce", "not", "and", "or", "xor", "xnor", "nand", "nor",
+      // misc
+      "<num>",
+  };
+  return kw;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '[' ||
+         c == ']';
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// "v3" / "b7" style tokens pass through untouched.
+bool is_slot_token(const std::string& s) {
+  if (s.size() < 2 || (s[0] != 'v' && s[0] != 'b')) return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Vocab::Vocab() {
+  add("[PAD]");
+  add("[UNK]");
+  add("[CLS]");
+  pad_id_ = 0;
+  unk_id_ = 1;
+  cls_id_ = 2;
+  // Single-character operator / punctuation tokens.
+  for (char c : std::string("!&|^()=,:;{}<>+-*/@.")) {
+    add(std::string(1, c));
+  }
+  add("0");
+  add("1");
+  for (const auto& kw : attribute_keywords()) add(kw);
+  for (int i = 0; i < kMaxVars; ++i) add("v" + std::to_string(i));
+  for (int i = 0; i < kNumBuckets; ++i) add("b" + std::to_string(i));
+}
+
+void Vocab::add(const std::string& token) {
+  if (index_.count(token)) return;
+  index_[token] = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+}
+
+int Vocab::id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? unk_id_ : it->second;
+}
+
+const std::string& Vocab::token(int id) const {
+  static const std::string kBad = "[BAD]";
+  if (id < 0 || id >= size()) return kBad;
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::string> tokenize_text(const std::string& text) {
+  static const std::vector<std::string>& kws = attribute_keywords();
+  auto is_keyword = [&](const std::string& s) {
+    return std::find(kws.begin(), kws.end(), s) != kws.end();
+  };
+
+  std::vector<std::string> out;
+  std::unordered_map<std::string, std::string> anon;  // original -> vI
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < text.size() && is_ident_char(text[i])) ++i;
+      std::string word = text.substr(start, i - start);
+      const std::string low = lower(word);
+      if (is_keyword(low)) {
+        out.push_back(low);
+      } else if (is_slot_token(low)) {
+        out.push_back(low);
+      } else {
+        auto it = anon.find(word);
+        if (it == anon.end()) {
+          const int slot = static_cast<int>(anon.size()) % Vocab::kMaxVars;
+          it = anon.emplace(word, "v" + std::to_string(slot)).first;
+        }
+        out.push_back(it->second);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) {
+        ++i;
+      }
+      const std::string num = text.substr(start, i - start);
+      if (num == "0" || num == "1") {
+        out.push_back(num);
+      } else {
+        out.push_back("<num>");
+      }
+      continue;
+    }
+    out.push_back(std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+std::vector<int> encode_text(const Vocab& vocab, const std::string& text,
+                             std::size_t max_len) {
+  std::vector<std::string> toks = tokenize_text(text);
+  if (max_len && toks.size() > max_len) toks.resize(max_len);
+  std::vector<int> ids;
+  ids.reserve(toks.size());
+  for (const auto& t : toks) ids.push_back(vocab.id(t));
+  return ids;
+}
+
+std::string bucket_token(double value, double lo, double hi) {
+  const double v = std::max(value, 1e-12);
+  const double l = std::log(std::max(lo, 1e-12));
+  const double h = std::log(std::max(hi, lo * 2));
+  double frac = (std::log(v) - l) / (h - l);
+  frac = std::clamp(frac, 0.0, 0.999);
+  const int bucket = static_cast<int>(frac * Vocab::kNumBuckets);
+  return "b" + std::to_string(bucket);
+}
+
+}  // namespace nettag

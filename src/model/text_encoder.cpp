@@ -1,0 +1,89 @@
+#include "model/text_encoder.hpp"
+
+namespace nettag {
+
+TextEncoderConfig TextEncoderConfig::tiny() {
+  TextEncoderConfig c;
+  c.d_model = 16;
+  c.num_layers = 1;
+  c.num_heads = 2;
+  c.d_ff = 32;
+  c.out_dim = 48;
+  return c;
+}
+
+TextEncoderConfig TextEncoderConfig::small() {
+  TextEncoderConfig c;
+  c.d_model = 32;
+  c.num_layers = 2;
+  c.num_heads = 2;
+  c.d_ff = 64;
+  c.out_dim = 48;
+  return c;
+}
+
+TextEncoderConfig TextEncoderConfig::base() {
+  TextEncoderConfig c;
+  c.d_model = 48;
+  c.num_layers = 2;
+  c.num_heads = 4;
+  c.d_ff = 96;
+  c.out_dim = 48;
+  return c;
+}
+
+TextEncoder::TextEncoder(const Vocab& vocab, const TextEncoderConfig& config,
+                         Rng& rng)
+    : vocab_(vocab), config_(config) {
+  tok_emb_ = std::make_unique<EmbeddingLayer>(vocab.size(), config.d_model, rng);
+  pos_emb_ = make_param(config.max_len, config.d_model, rng, 0.5f);
+  for (int l = 0; l < config.num_layers; ++l) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        config.d_model, config.num_heads, config.d_ff, rng));
+  }
+  final_ln_ = std::make_unique<LayerNorm>(config.d_model);
+  proj_ = std::make_unique<Linear>(config.d_model, config.out_dim, rng);
+}
+
+Tensor TextEncoder::encode_ids(const std::vector<int>& ids) const {
+  std::vector<int> clipped = ids;
+  if (static_cast<int>(clipped.size()) > config_.max_len) {
+    clipped.resize(static_cast<std::size_t>(config_.max_len));
+  }
+  if (clipped.empty()) clipped.push_back(vocab_.cls_id());
+  Tensor x = tok_emb_->forward(clipped);
+  // Add position embeddings (slice the table to the sequence length).
+  Tensor pos = slice_rows(pos_emb_, 0, static_cast<int>(clipped.size()));
+  x = add(x, pos);
+  for (const auto& blk : blocks_) x = blk->forward(x);
+  x = final_ln_->forward(x);
+  // Mean pooling over tokens, then projection (LLM2Vec-style pooling).
+  return proj_->forward(mean_rows(x));
+}
+
+Tensor TextEncoder::encode(const std::string& text) const {
+  return encode_ids(encode_text(vocab_, text,
+                                static_cast<std::size_t>(config_.max_len)));
+}
+
+Tensor TextEncoder::encode_batch(const std::vector<std::string>& texts) const {
+  std::vector<Tensor> rows;
+  rows.reserve(texts.size());
+  for (const auto& t : texts) rows.push_back(encode(t));
+  return concat_rows(rows);
+}
+
+std::vector<Tensor> TextEncoder::params() const {
+  std::vector<Tensor> out = tok_emb_->params();
+  out.push_back(pos_emb_);
+  for (const auto& blk : blocks_) {
+    for (const Tensor& p : blk->params()) out.push_back(p);
+  }
+  for (const Tensor& p : final_ln_->params()) out.push_back(p);
+  for (const Tensor& p : proj_->params()) out.push_back(p);
+  return out;
+}
+
+Tensor stack_rows(const std::vector<Tensor>& rows) { return concat_rows(rows); }
+
+}  // namespace nettag

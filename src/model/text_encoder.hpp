@@ -1,0 +1,62 @@
+// Bidirectional transformer text encoder: the ExprLLM / NV-Embed substitute.
+//
+// The paper initializes ExprLLM from LLM2Vec (Llama-3.1-8B with causal
+// attention converted to bidirectional) and the RTL encoder from NV-Embed.
+// We train the same *shape* of model from scratch at CPU scale: token +
+// position embeddings, pre-norm transformer blocks with bidirectional
+// attention, final layer norm, mean pooling, and a projection head. Three
+// size tiers mirror the paper's Fig. 7 scaling axis (BERT-110M / 1.3B / 8B).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/tokenizer.hpp"
+#include "nn/layers.hpp"
+
+namespace nettag {
+
+struct TextEncoderConfig {
+  int d_model = 48;
+  int num_layers = 2;
+  int num_heads = 4;
+  int d_ff = 96;
+  int max_len = 96;
+  int out_dim = 48;  ///< projection output (the embedding dimension)
+  /// Size tiers for the scaling study (Fig. 7).
+  static TextEncoderConfig tiny();   ///< "BERT-110M" analog
+  static TextEncoderConfig small();  ///< "Llama-1.3B" analog
+  static TextEncoderConfig base();   ///< "Llama-8B" analog
+};
+
+/// Encodes attribute/RTL text into a fixed-size embedding (1 x out_dim).
+class TextEncoder : public Module {
+ public:
+  TextEncoder(const Vocab& vocab, const TextEncoderConfig& config, Rng& rng);
+
+  /// Embedding of one text (1 x out_dim). Training mode keeps the graph.
+  Tensor encode(const std::string& text) const;
+  Tensor encode_ids(const std::vector<int>& ids) const;
+
+  /// Batch of texts stacked into rows (B x out_dim).
+  Tensor encode_batch(const std::vector<std::string>& texts) const;
+
+  const TextEncoderConfig& config() const { return config_; }
+  const Vocab& vocab() const { return vocab_; }
+  std::vector<Tensor> params() const override;
+
+ private:
+  const Vocab& vocab_;
+  TextEncoderConfig config_;
+  std::unique_ptr<EmbeddingLayer> tok_emb_;
+  Tensor pos_emb_;  ///< max_len x d_model
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+  std::unique_ptr<Linear> proj_;
+};
+
+/// Concatenates per-text embeddings row-wise (helper shared by objectives).
+Tensor stack_rows(const std::vector<Tensor>& rows);
+
+}  // namespace nettag

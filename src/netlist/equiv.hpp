@@ -1,0 +1,34 @@
+// Formal combinational equivalence checking between netlists, built on the
+// BDD engine — the classic CEC flow: match sequential/input boundaries by
+// name, build canonical BDDs for every register D-input and primary output,
+// compare node-for-node. This gives the optimization passes a *formal*
+// correctness oracle on top of the randomized-simulation checks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace nettag {
+
+/// Result of an equivalence check.
+struct EquivResult {
+  bool equivalent = false;
+  /// First mismatching checkpoint (register or output name); empty if
+  /// equivalent or if the failure is structural.
+  std::string mismatch;
+  /// Structural failure description (boundary mismatch), empty otherwise.
+  std::string error;
+  /// Number of compared checkpoints.
+  std::size_t checkpoints = 0;
+};
+
+/// Checks combinational equivalence of two netlists: sources (ports and
+/// register outputs) are matched by name, and every register D-input plus
+/// every primary output must compute the same Boolean function of them.
+/// Both netlists must have the same register set; extra/missing ports on
+/// either side are allowed only if unused.
+EquivResult check_equivalence(const Netlist& a, const Netlist& b);
+
+}  // namespace nettag

@@ -1,0 +1,104 @@
+#include "netlist/expr_synth.hpp"
+
+#include <stdexcept>
+
+namespace nettag {
+
+namespace {
+
+class ExprSynth {
+ public:
+  ExprSynth(Netlist& nl, const std::string& prefix) : nl_(nl), prefix_(prefix) {}
+
+  GateId lower(const ExprPtr& e) {
+    switch (e->kind()) {
+      case ExprKind::kConst0:
+        return constant(false);
+      case ExprKind::kConst1:
+        return constant(true);
+      case ExprKind::kVar: {
+        const GateId id = nl_.find(e->var_name());
+        if (id == kNoGate) {
+          throw std::invalid_argument("synthesize_expression: unknown signal '" +
+                                      e->var_name() + "'");
+        }
+        return id;
+      }
+      case ExprKind::kNot:
+        return make(CellType::kInv, {lower(e->children()[0])});
+      case ExprKind::kAnd:
+        return reduce(e, CellType::kAnd2, CellType::kAnd3, CellType::kAnd4);
+      case ExprKind::kOr:
+        return reduce(e, CellType::kOr2, CellType::kOr3, CellType::kOr4);
+      case ExprKind::kXor: {
+        GateId acc = lower(e->children()[0]);
+        for (std::size_t i = 1; i < e->children().size(); ++i) {
+          acc = make(CellType::kXor2, {acc, lower(e->children()[i])});
+        }
+        return acc;
+      }
+    }
+    throw std::invalid_argument("synthesize_expression: bad node");
+  }
+
+ private:
+  GateId constant(bool v) {
+    GateId& slot = v ? const1_ : const0_;
+    if (slot == kNoGate) {
+      slot = make(v ? CellType::kConst1 : CellType::kConst0, {});
+    }
+    return slot;
+  }
+
+  GateId make(CellType type, const std::vector<GateId>& fanins) {
+    std::string name;
+    do {
+      name = prefix_ + std::to_string(counter_++);
+    } while (nl_.find(name) != kNoGate);
+    return nl_.add_gate(type, name, fanins);
+  }
+
+  /// Lowers an n-ary AND/OR using the widest available cells.
+  GateId reduce(const ExprPtr& e, CellType two, CellType three, CellType four) {
+    std::vector<GateId> ops;
+    ops.reserve(e->children().size());
+    for (const auto& c : e->children()) ops.push_back(lower(c));
+    while (ops.size() > 1) {
+      std::vector<GateId> next;
+      std::size_t i = 0;
+      while (i < ops.size()) {
+        const std::size_t rem = ops.size() - i;
+        if (rem >= 4) {
+          next.push_back(make(four, {ops[i], ops[i + 1], ops[i + 2], ops[i + 3]}));
+          i += 4;
+        } else if (rem == 3) {
+          next.push_back(make(three, {ops[i], ops[i + 1], ops[i + 2]}));
+          i += 3;
+        } else if (rem == 2) {
+          next.push_back(make(two, {ops[i], ops[i + 1]}));
+          i += 2;
+        } else {
+          next.push_back(ops[i]);
+          i += 1;
+        }
+      }
+      ops = std::move(next);
+    }
+    return ops[0];
+  }
+
+  Netlist& nl_;
+  std::string prefix_;
+  int counter_ = 0;
+  GateId const0_ = kNoGate;
+  GateId const1_ = kNoGate;
+};
+
+}  // namespace
+
+GateId synthesize_expression(Netlist& nl, const ExprPtr& e,
+                             const std::string& prefix) {
+  return ExprSynth(nl, prefix).lower(e);
+}
+
+}  // namespace nettag

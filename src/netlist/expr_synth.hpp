@@ -1,0 +1,22 @@
+// Expression-to-gates synthesis: lowers a Boolean expression AST into
+// library gates inside an existing netlist, resolving variables against
+// existing gate names. Closes the loop with khop_expression(): an extracted
+// cone expression can be re-synthesized and formally checked equivalent.
+#pragma once
+
+#include <string>
+
+#include "expr/expr.hpp"
+#include "netlist/netlist.hpp"
+
+namespace nettag {
+
+/// Synthesizes `e` into `nl` and returns the gate driving its value.
+/// Variables must name existing gates in `nl` (ports, registers, or any
+/// logic gate); throws std::invalid_argument otherwise. New gates are named
+/// `<prefix><counter>` (counter chosen to avoid collisions). Wide AND/OR
+/// use 3/4-input cells; XOR chains decompose into XOR2.
+GateId synthesize_expression(Netlist& nl, const ExprPtr& e,
+                             const std::string& prefix = "sx");
+
+}  // namespace nettag

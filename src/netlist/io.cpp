@@ -1,0 +1,171 @@
+#include "netlist/io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nettag {
+
+namespace {
+
+void write_attrs(std::ostream& os, const Gate& g) {
+  if (!g.rtl_block.empty()) os << " block=" << g.rtl_block;
+  if (g.is_state_reg) os << " state";
+  if (g.is_primary_output) os << " out";
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  os << "module " << nl.name();
+  if (!nl.source().empty()) os << " source " << nl.source();
+  os << "\n";
+  // Sources first: ports, constants, register declarations (Q pins).
+  for (const Gate& g : nl.gates()) {
+    switch (g.type) {
+      case CellType::kPort:
+        os << "port " << g.name;
+        write_attrs(os, g);
+        os << "\n";
+        break;
+      case CellType::kConst0:
+      case CellType::kConst1:
+        os << "gate " << cell_info(g.type).name << ' ' << g.name;
+        write_attrs(os, g);
+        os << "\n";
+        break;
+      case CellType::kDff:
+        os << "reg " << g.name;
+        write_attrs(os, g);
+        os << "\n";
+        break;
+      default:
+        break;
+    }
+  }
+  // Combinational gates in topological order.
+  for (GateId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (g.type == CellType::kPort || g.type == CellType::kConst0 ||
+        g.type == CellType::kConst1 || g.type == CellType::kDff) {
+      continue;
+    }
+    os << "gate " << cell_info(g.type).name << ' ' << g.name;
+    for (GateId f : g.fanins) os << ' ' << nl.gate(f).name;
+    write_attrs(os, g);
+    os << "\n";
+  }
+  // Register D connections last (they may reference any gate).
+  for (const Gate& g : nl.gates()) {
+    if (g.type != CellType::kDff) continue;
+    os << "drive " << g.name << ' ' << nl.gate(g.fanins[0]).name << "\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string netlist_to_string(const Netlist& nl) {
+  std::ostringstream ss;
+  write_netlist(ss, nl);
+  return ss.str();
+}
+
+Netlist read_netlist(std::istream& is) {
+  Netlist nl;
+  std::string line;
+  int lineno = 0;
+  bool in_module = false, done = false;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("read_netlist: line " + std::to_string(lineno) +
+                             ": " + why);
+  };
+  auto read_attrs = [&](std::istringstream& ls, GateId id) {
+    std::string attr;
+    while (ls >> attr) {
+      if (attr == "state") {
+        nl.gate(id).is_state_reg = true;
+      } else if (attr == "out") {
+        nl.mark_output(id);
+      } else if (attr.rfind("block=", 0) == 0) {
+        nl.gate(id).rtl_block = attr.substr(6);
+      } else {
+        fail("unknown attribute '" + attr + "'");
+      }
+    }
+  };
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "module") {
+      std::string name;
+      if (!(ls >> name)) fail("module without name");
+      nl.set_name(name);
+      std::string key;
+      if (ls >> key) {
+        if (key != "source") fail("unexpected token after module name");
+        std::string src;
+        if (!(ls >> src)) fail("source without value");
+        nl.set_source(src);
+      }
+      in_module = true;
+      continue;
+    }
+    if (!in_module) fail("content before module header");
+    if (word == "endmodule") {
+      done = true;
+      break;
+    }
+
+    if (word == "port") {
+      std::string name;
+      if (!(ls >> name)) fail("port without name");
+      read_attrs(ls, nl.add_port(name));
+    } else if (word == "reg") {
+      std::string name;
+      if (!(ls >> name)) fail("reg without name");
+      read_attrs(ls, nl.add_register(name));
+    } else if (word == "drive") {
+      std::string rname, dname;
+      if (!(ls >> rname >> dname)) fail("malformed drive");
+      const GateId r = nl.find(rname);
+      const GateId d = nl.find(dname);
+      if (r == kNoGate) fail("drive of unknown register '" + rname + "'");
+      if (d == kNoGate) fail("drive from unknown signal '" + dname + "'");
+      nl.connect_register(r, d);
+    } else if (word == "gate") {
+      std::string cell, name;
+      if (!(ls >> cell >> name)) fail("gate without cell/name");
+      const CellType type = cell_type_from_name(cell);
+      const int arity = cell_info(type).num_inputs;
+      std::vector<GateId> fanins;
+      for (int i = 0; i < arity; ++i) {
+        std::string fan;
+        if (!(ls >> fan)) fail("missing fanin on " + name);
+        const GateId f = nl.find(fan);
+        if (f == kNoGate) fail("unknown fanin '" + fan + "' on " + name);
+        fanins.push_back(f);
+      }
+      read_attrs(ls, nl.add_gate(type, name, fanins));
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!done) fail("missing endmodule");
+  // Every declared register must have been driven.
+  for (const Gate& g : nl.gates()) {
+    if (g.type == CellType::kDff && g.fanins.empty()) {
+      throw std::runtime_error("read_netlist: register '" + g.name +
+                               "' never driven");
+    }
+  }
+  return nl;
+}
+
+Netlist netlist_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_netlist(ss);
+}
+
+}  // namespace nettag

@@ -1,0 +1,39 @@
+// Structural netlist reader/writer.
+//
+// A compact Verilog-inspired line format so generated designs can be dumped,
+// inspected, versioned, and reloaded:
+//
+//   module <name> source <family>
+//   port <name> [block=<label>]
+//   reg <name> [block=<label>] [state] [out]
+//   gate <CELL> <name> <fanin>... [block=<label>] [state] [out]
+//   drive <reg> <signal>
+//   endmodule
+//
+// Gate output nets are identified with instance names; fanins reference
+// instance names and must be declared earlier. Registers are declared up
+// front with `reg` (their Q pins feed combinational logic) and their D
+// inputs are connected by trailing `drive` lines, so sequential feedback
+// round-trips. `state` marks a state register (Task 2 ground truth), `out`
+// a primary output, `block=` the RTL provenance label (Task 1 ground
+// truth). `gate DFF <name> <d>` is also accepted when the driver is
+// already defined.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace nettag {
+
+/// Serializes the netlist (topological order).
+void write_netlist(std::ostream& os, const Netlist& nl);
+std::string netlist_to_string(const Netlist& nl);
+
+/// Parses the format produced by write_netlist. Throws std::runtime_error
+/// with a line number on malformed input.
+Netlist read_netlist(std::istream& is);
+Netlist netlist_from_string(const std::string& text);
+
+}  // namespace nettag

@@ -1,0 +1,51 @@
+#include "netlist/liberty.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "netlist/cell_library.hpp"
+
+namespace nettag {
+
+void write_liberty(std::ostream& os, const std::string& library_name) {
+  os << "library (" << library_name << ") {\n"
+     << "  time_unit : \"1ns\";\n"
+     << "  capacitive_load_unit (1, ff);\n"
+     << "  leakage_power_unit : \"1nW\";\n";
+  os << std::fixed << std::setprecision(4);
+  for (const CellInfo& c : all_cells()) {
+    if (c.type == CellType::kPort) continue;
+    os << "  cell (" << c.name << ") {\n"
+       << "    area : " << c.area << ";\n"
+       << "    cell_leakage_power : " << c.leakage << ";\n";
+    if (c.sequential) os << "    ff (IQ, IQN) { clocked_on : \"CK\"; }\n";
+    static const char* kPins[] = {"A", "B", "C", "D"};
+    for (int p = 0; p < c.num_inputs; ++p) {
+      const char* name = c.sequential ? "D" : kPins[p];
+      os << "    pin (" << name << ") {\n"
+         << "      direction : input;\n"
+         << "      capacitance : " << c.input_cap << ";\n"
+         << "    }\n";
+    }
+    os << "    pin (" << (c.sequential ? "Q" : "Y") << ") {\n"
+       << "      direction : output;\n"
+       << "      timing () {\n"
+       << "        intrinsic_rise : " << c.intrinsic_delay << ";\n"
+       << "        intrinsic_fall : " << c.intrinsic_delay << ";\n"
+       << "        rise_resistance : " << c.drive_res << ";\n"
+       << "        fall_resistance : " << c.drive_res << ";\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string liberty_to_string(const std::string& library_name) {
+  std::ostringstream ss;
+  write_liberty(ss, library_name);
+  return ss.str();
+}
+
+}  // namespace nettag

@@ -1,0 +1,17 @@
+// Liberty-format (.lib style) dump of the standard-cell library — the
+// artifact a real flow would consume for timing/power; emitted so the
+// library characteristics are inspectable and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace nettag {
+
+/// Writes every cell in the library as a liberty-style `cell {}` group with
+/// area, leakage, pin capacitances, and a timing group carrying the
+/// intrinsic delay and drive resistance.
+void write_liberty(std::ostream& os, const std::string& library_name);
+std::string liberty_to_string(const std::string& library_name);
+
+}  // namespace nettag

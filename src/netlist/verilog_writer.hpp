@@ -1,0 +1,23 @@
+// Structural Verilog emitter.
+//
+// Emits gate-level netlists as synthesizable structural Verilog using the
+// cell library's names (NanGate45-style instantiations), so generated
+// designs can be inspected with standard tooling or fed to external flows.
+// This is the inverse direction of our compact .nl format (io.hpp) — write
+// only; parsing full Verilog is out of scope.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace nettag {
+
+/// Writes `nl` as a structural Verilog module. Gate output nets take the
+/// instance name ("U3" drives wire "U3"); DFFs become DFF cell instances
+/// with an implicit clock port "clk".
+void write_verilog(std::ostream& os, const Netlist& nl);
+std::string verilog_to_string(const Netlist& nl);
+
+}  // namespace nettag

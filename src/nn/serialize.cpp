@@ -1,0 +1,53 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace nettag {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4e544147;  // "NTAG"
+}
+
+void save_params(const std::string& path, const std::vector<Tensor>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    const std::int32_t r = p->value.rows, c = p->value.cols;
+    out.write(reinterpret_cast<const char*>(&r), sizeof(r));
+    out.write(reinterpret_cast<const char*>(&c), sizeof(c));
+    out.write(reinterpret_cast<const char*>(p->value.v.data()),
+              static_cast<std::streamsize>(p->value.v.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(const std::string& path, const std::vector<Tensor>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  std::uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (magic != kMagic) throw std::runtime_error("load_params: bad magic in " + path);
+  if (count != params.size()) {
+    throw std::runtime_error("load_params: parameter count mismatch in " + path);
+  }
+  for (const Tensor& p : params) {
+    std::int32_t r = 0, c = 0;
+    in.read(reinterpret_cast<char*>(&r), sizeof(r));
+    in.read(reinterpret_cast<char*>(&c), sizeof(c));
+    if (r != p->value.rows || c != p->value.cols) {
+      throw std::runtime_error("load_params: shape mismatch in " + path);
+    }
+    in.read(reinterpret_cast<char*>(p->value.v.data()),
+            static_cast<std::streamsize>(p->value.v.size() * sizeof(float)));
+  }
+  if (!in) throw std::runtime_error("load_params: truncated file " + path);
+}
+
+}  // namespace nettag

@@ -1,0 +1,20 @@
+// Parameter (de)serialization so pre-trained NetTAG models can be saved and
+// reloaded (the paper releases pre-trained weights; we do the same).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nettag {
+
+/// Writes all parameter matrices (shapes + data) to a binary file.
+/// Throws std::runtime_error on I/O failure.
+void save_params(const std::string& path, const std::vector<Tensor>& params);
+
+/// Loads parameters saved by save_params into an *identically shaped*
+/// parameter list. Throws std::runtime_error on shape or I/O mismatch.
+void load_params(const std::string& path, const std::vector<Tensor>& params);
+
+}  // namespace nettag

@@ -1,0 +1,689 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nettag {
+
+namespace {
+
+/// Builds an op node: value + parents + a gradient closure that receives the
+/// finished output node (so it can read out->grad). Parents are captured by
+/// shared_ptr inside the node, keeping the graph alive until backward().
+Tensor make_op(Mat value, std::vector<Tensor> parents,
+               std::function<void(Node*)> grad_fn) {
+  bool rg = false;
+  for (const Tensor& p : parents) rg = rg || p->requires_grad;
+  auto node = std::make_shared<Node>(std::move(value), rg);
+  if (rg) {
+    node->parents = std::move(parents);
+    Node* raw = node.get();
+    node->backward_fn = [raw, fn = std::move(grad_fn)]() { fn(raw); };
+  }
+  return node;
+}
+
+void accumulate(Node* p, const Mat& delta) {
+  if (!p->requires_grad) return;
+  p->ensure_grad();
+  assert(p->grad.v.size() == delta.v.size());
+  for (std::size_t i = 0; i < delta.v.size(); ++i) p->grad.v[i] += delta.v[i];
+}
+
+}  // namespace
+
+Tensor make_tensor(Mat m, bool requires_grad) {
+  return std::make_shared<Node>(std::move(m), requires_grad);
+}
+
+Tensor make_param(int rows, int cols, Rng& rng, float scale) {
+  Mat m(rows, cols);
+  const float stddev = scale / std::sqrt(static_cast<float>(cols));
+  for (float& x : m.v) x = static_cast<float>(rng.normal(0.0, stddev));
+  return make_tensor(std::move(m), true);
+}
+
+Tensor scalar(float v) {
+  Mat m(1, 1);
+  m.v[0] = v;
+  return make_tensor(std::move(m), false);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a->value.cols == b->value.rows);
+  const int n = a->value.rows, k = a->value.cols, m = b->value.cols;
+  Mat out(n, m);
+  {
+    const float* av = a->value.v.data();
+    const float* bv = b->value.v.data();
+    float* ov = out.v.data();
+    for (int i = 0; i < n; ++i) {
+      for (int p = 0; p < k; ++p) {
+        const float aip = av[i * k + p];
+        if (aip == 0.f) continue;
+        const float* brow = bv + p * m;
+        float* orow = ov + i * m;
+        for (int j = 0; j < m; ++j) orow[j] += aip * brow[j];
+      }
+    }
+  }
+  Node* an = a.get();
+  Node* bn = b.get();
+  return make_op(std::move(out), {a, b}, [an, bn, n, k, m](Node* o) {
+    const float* g = o->grad.v.data();
+    if (an->requires_grad) {
+      an->ensure_grad();
+      const float* bv = bn->value.v.data();
+      float* ag = an->grad.v.data();
+      for (int i = 0; i < n; ++i) {
+        for (int p = 0; p < k; ++p) {
+          const float* brow = bv + p * m;
+          const float* grow = g + i * m;
+          float acc = 0.f;
+          for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+          ag[i * k + p] += acc;
+        }
+      }
+    }
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      const float* av = an->value.v.data();
+      float* bg = bn->grad.v.data();
+      for (int i = 0; i < n; ++i) {
+        const float* grow = g + i * m;
+        for (int p = 0; p < k; ++p) {
+          const float aip = av[i * k + p];
+          if (aip == 0.f) continue;
+          float* bgrow = bg + p * m;
+          for (int j = 0; j < m; ++j) bgrow[j] += aip * grow[j];
+        }
+      }
+    }
+  });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  assert(a->value.rows == b->value.rows && a->value.cols == b->value.cols);
+  Mat out = a->value;
+  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] += b->value.v[i];
+  Node* an = a.get();
+  Node* bn = b.get();
+  return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
+    accumulate(an, o->grad);
+    accumulate(bn, o->grad);
+  });
+}
+
+Tensor add_rowvec(const Tensor& a, const Tensor& b) {
+  assert(b->value.rows == 1 && a->value.cols == b->value.cols);
+  Mat out = a->value;
+  const int n = out.rows, d = out.cols;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) out.at(i, j) += b->value.at(0, j);
+  }
+  Node* an = a.get();
+  Node* bn = b.get();
+  return make_op(std::move(out), {a, b}, [an, bn, n, d](Node* o) {
+    accumulate(an, o->grad);
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < d; ++j) bn->grad.at(0, j) += o->grad.at(i, j);
+      }
+    }
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  assert(a->value.rows == b->value.rows && a->value.cols == b->value.cols);
+  Mat out = a->value;
+  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] -= b->value.v[i];
+  Node* an = a.get();
+  Node* bn = b.get();
+  return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
+    accumulate(an, o->grad);
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+        bn->grad.v[i] -= o->grad.v[i];
+      }
+    }
+  });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  assert(a->value.v.size() == b->value.v.size());
+  Mat out = a->value;
+  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] *= b->value.v[i];
+  Node* an = a.get();
+  Node* bn = b.get();
+  return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
+    if (an->requires_grad) {
+      an->ensure_grad();
+      for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+        an->grad.v[i] += o->grad.v[i] * bn->value.v[i];
+      }
+    }
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+        bn->grad.v[i] += o->grad.v[i] * an->value.v[i];
+      }
+    }
+  });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Mat out = a->value;
+  for (float& x : out.v) x *= s;
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, s](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+      an->grad.v[i] += s * o->grad.v[i];
+    }
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  Mat out = a->value;
+  for (float& x : out.v) x = std::max(x, 0.f);
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+      if (an->value.v[i] > 0.f) an->grad.v[i] += o->grad.v[i];
+    }
+  });
+}
+
+namespace {
+// GELU tanh-approximation constants.
+constexpr float kGeluC = 0.7978845608f;  // sqrt(2/pi)
+constexpr float kGeluB = 0.044715f;
+}  // namespace
+
+Tensor gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(c (x + 0.044715 x^3)))
+  constexpr float kC = kGeluC;
+  constexpr float kB = kGeluB;
+  Mat out = a->value;
+  for (float& x : out.v) {
+    const float t = std::tanh(kC * (x + kB * x * x * x));
+    x = 0.5f * x * (1.f + t);
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+      const float x = an->value.v[i];
+      const float u = kGeluC * (x + kGeluB * x * x * x);
+      const float t = std::tanh(u);
+      const float du = kGeluC * (1.f + 3.f * kGeluB * x * x);
+      const float dy = 0.5f * (1.f + t) + 0.5f * x * (1.f - t * t) * du;
+      an->grad.v[i] += o->grad.v[i] * dy;
+    }
+  });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  Mat out = a->value;
+  for (float& x : out.v) x = std::tanh(x);
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+      const float y = o->value.v[i];
+      an->grad.v[i] += o->grad.v[i] * (1.f - y * y);
+    }
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Mat out = a->value;
+  for (float& x : out.v) x = 1.f / (1.f + std::exp(-x));
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+      const float y = o->value.v[i];
+      an->grad.v[i] += o->grad.v[i] * y * (1.f - y);
+    }
+  });
+}
+
+Tensor transpose(const Tensor& a) {
+  const int n = a->value.rows, m = a->value.cols;
+  Mat out(m, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) out.at(j, i) = a->value.at(i, j);
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, n, m](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) an->grad.at(i, j) += o->grad.at(j, i);
+    }
+  });
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  assert(a->value.rows == b->value.rows);
+  const int n = a->value.rows, da = a->value.cols, db = b->value.cols;
+  Mat out(n, da + db);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < da; ++j) out.at(i, j) = a->value.at(i, j);
+    for (int j = 0; j < db; ++j) out.at(i, da + j) = b->value.at(i, j);
+  }
+  Node* an = a.get();
+  Node* bn = b.get();
+  return make_op(std::move(out), {a, b}, [an, bn, n, da, db](Node* o) {
+    if (an->requires_grad) {
+      an->ensure_grad();
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < da; ++j) an->grad.at(i, j) += o->grad.at(i, j);
+      }
+    }
+    if (bn->requires_grad) {
+      bn->ensure_grad();
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < db; ++j) bn->grad.at(i, j) += o->grad.at(i, da + j);
+      }
+    }
+  });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const int d = parts[0]->value.cols;
+  int total = 0;
+  for (const Tensor& p : parts) {
+    assert(p->value.cols == d);
+    total += p->value.rows;
+  }
+  Mat out(total, d);
+  int row = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p->value.v.begin(), p->value.v.end(),
+              out.v.begin() + static_cast<std::ptrdiff_t>(row) * d);
+    row += p->value.rows;
+  }
+  std::vector<Node*> raw;
+  raw.reserve(parts.size());
+  for (const Tensor& p : parts) raw.push_back(p.get());
+  return make_op(std::move(out), parts, [raw, d](Node* o) {
+    int row = 0;
+    for (Node* p : raw) {
+      if (p->requires_grad) {
+        p->ensure_grad();
+        for (int i = 0; i < p->value.rows; ++i) {
+          for (int j = 0; j < d; ++j) {
+            p->grad.at(i, j) += o->grad.at(row + i, j);
+          }
+        }
+      }
+      row += p->value.rows;
+    }
+  });
+}
+
+Tensor slice_rows(const Tensor& a, int start, int count) {
+  assert(start >= 0 && start + count <= a->value.rows);
+  const int d = a->value.cols;
+  Mat out(count, d);
+  for (int i = 0; i < count; ++i) {
+    for (int j = 0; j < d; ++j) out.at(i, j) = a->value.at(start + i, j);
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, start, count, d](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (int i = 0; i < count; ++i) {
+      for (int j = 0; j < d; ++j) an->grad.at(start + i, j) += o->grad.at(i, j);
+    }
+  });
+}
+
+Tensor mean_rows(const Tensor& a) {
+  const int n = a->value.rows, d = a->value.cols;
+  Mat out(1, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) out.at(0, j) += a->value.at(i, j);
+  }
+  for (int j = 0; j < d; ++j) out.at(0, j) /= static_cast<float>(n);
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, n, d](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    const float inv = 1.f / static_cast<float>(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) an->grad.at(i, j) += o->grad.at(0, j) * inv;
+    }
+  });
+}
+
+Tensor sum_rows(const Tensor& a) {
+  const int n = a->value.rows, d = a->value.cols;
+  Mat out(1, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) out.at(0, j) += a->value.at(i, j);
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, n, d](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) an->grad.at(i, j) += o->grad.at(0, j);
+    }
+  });
+}
+
+Tensor softmax_rows(const Tensor& a) {
+  const int n = a->value.rows, d = a->value.cols;
+  Mat out(n, d);
+  for (int i = 0; i < n; ++i) {
+    float mx = a->value.at(i, 0);
+    for (int j = 1; j < d; ++j) mx = std::max(mx, a->value.at(i, j));
+    float sum = 0.f;
+    for (int j = 0; j < d; ++j) {
+      const float e = std::exp(a->value.at(i, j) - mx);
+      out.at(i, j) = e;
+      sum += e;
+    }
+    for (int j = 0; j < d; ++j) out.at(i, j) /= sum;
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, n, d](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      float dot = 0.f;
+      for (int j = 0; j < d; ++j) dot += o->grad.at(i, j) * o->value.at(i, j);
+      for (int j = 0; j < d; ++j) {
+        an->grad.at(i, j) += o->value.at(i, j) * (o->grad.at(i, j) - dot);
+      }
+    }
+  });
+}
+
+Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                      float eps) {
+  const int n = a->value.rows, d = a->value.cols;
+  assert(gamma->value.cols == d && beta->value.cols == d);
+  Mat out(n, d);
+  Mat xhat(n, d);
+  std::vector<float> inv_sigma(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float mean = 0.f;
+    for (int j = 0; j < d; ++j) mean += a->value.at(i, j);
+    mean /= static_cast<float>(d);
+    float var = 0.f;
+    for (int j = 0; j < d; ++j) {
+      const float c = a->value.at(i, j) - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float is = 1.f / std::sqrt(var + eps);
+    inv_sigma[static_cast<std::size_t>(i)] = is;
+    for (int j = 0; j < d; ++j) {
+      const float xh = (a->value.at(i, j) - mean) * is;
+      xhat.at(i, j) = xh;
+      out.at(i, j) = gamma->value.at(0, j) * xh + beta->value.at(0, j);
+    }
+  }
+  Node* an = a.get();
+  Node* gn = gamma.get();
+  Node* bn = beta.get();
+  return make_op(
+      std::move(out), {a, gamma, beta},
+      [an, gn, bn, n, d, xhat = std::move(xhat),
+       inv_sigma = std::move(inv_sigma)](Node* o) {
+        if (gn->requires_grad) {
+          gn->ensure_grad();
+          for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < d; ++j) {
+              gn->grad.at(0, j) += o->grad.at(i, j) * xhat.at(i, j);
+            }
+          }
+        }
+        if (bn->requires_grad) {
+          bn->ensure_grad();
+          for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < d; ++j) bn->grad.at(0, j) += o->grad.at(i, j);
+          }
+        }
+        if (an->requires_grad) {
+          an->ensure_grad();
+          for (int i = 0; i < n; ++i) {
+            // g = dOut * gamma ; dx = is * (g - mean(g) - xhat * mean(g*xhat))
+            float mg = 0.f, mgx = 0.f;
+            for (int j = 0; j < d; ++j) {
+              const float g = o->grad.at(i, j) * gn->value.at(0, j);
+              mg += g;
+              mgx += g * xhat.at(i, j);
+            }
+            mg /= static_cast<float>(d);
+            mgx /= static_cast<float>(d);
+            const float is = inv_sigma[static_cast<std::size_t>(i)];
+            for (int j = 0; j < d; ++j) {
+              const float g = o->grad.at(i, j) * gn->value.at(0, j);
+              an->grad.at(i, j) += is * (g - mg - xhat.at(i, j) * mgx);
+            }
+          }
+        }
+      });
+}
+
+Tensor embedding(const Tensor& table, const std::vector<int>& ids) {
+  const int d = table->value.cols;
+  Mat out(static_cast<int>(ids.size()), d);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    assert(ids[i] >= 0 && ids[i] < table->value.rows);
+    for (int j = 0; j < d; ++j) {
+      out.at(static_cast<int>(i), j) = table->value.at(ids[i], j);
+    }
+  }
+  Node* tn = table.get();
+  return make_op(std::move(out), {table}, [tn, ids, d](Node* o) {
+    if (!tn->requires_grad) return;
+    tn->ensure_grad();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (int j = 0; j < d; ++j) {
+        tn->grad.at(ids[i], j) += o->grad.at(static_cast<int>(i), j);
+      }
+    }
+  });
+}
+
+Tensor normalize_rows(const Tensor& a, float eps) {
+  const int n = a->value.rows, d = a->value.cols;
+  Mat out(n, d);
+  std::vector<float> norms(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    float s = 0.f;
+    for (int j = 0; j < d; ++j) s += a->value.at(i, j) * a->value.at(i, j);
+    const float nm = std::sqrt(s) + eps;
+    norms[static_cast<std::size_t>(i)] = nm;
+    for (int j = 0; j < d; ++j) out.at(i, j) = a->value.at(i, j) / nm;
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a},
+                 [an, n, d, norms = std::move(norms)](Node* o) {
+                   if (!an->requires_grad) return;
+                   an->ensure_grad();
+                   for (int i = 0; i < n; ++i) {
+                     float dot = 0.f;
+                     for (int j = 0; j < d; ++j) {
+                       dot += o->grad.at(i, j) * o->value.at(i, j);
+                     }
+                     const float inv = 1.f / norms[static_cast<std::size_t>(i)];
+                     for (int j = 0; j < d; ++j) {
+                       an->grad.at(i, j) +=
+                           (o->grad.at(i, j) - o->value.at(i, j) * dot) * inv;
+                     }
+                   }
+                 });
+}
+
+Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
+  if (!train || p <= 0.f) return a;
+  Mat out = a->value;
+  std::vector<float> mask(out.v.size());
+  const float keep = 1.f - p;
+  for (std::size_t i = 0; i < out.v.size(); ++i) {
+    mask[i] = rng.chance(p) ? 0.f : 1.f / keep;
+    out.v[i] *= mask[i];
+  }
+  Node* an = a.get();
+  return make_op(std::move(out), {a}, [an, mask = std::move(mask)](Node* o) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
+      an->grad.v[i] += o->grad.v[i] * mask[i];
+    }
+  });
+}
+
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
+  const int n = logits->value.rows, c = logits->value.cols;
+  assert(static_cast<int>(targets.size()) == n);
+  Mat probs(n, c);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    float mx = logits->value.at(i, 0);
+    for (int j = 1; j < c; ++j) mx = std::max(mx, logits->value.at(i, j));
+    float sum = 0.f;
+    for (int j = 0; j < c; ++j) {
+      const float e = std::exp(logits->value.at(i, j) - mx);
+      probs.at(i, j) = e;
+      sum += e;
+    }
+    for (int j = 0; j < c; ++j) probs.at(i, j) /= sum;
+    loss -= std::log(std::max(probs.at(i, targets[static_cast<std::size_t>(i)]), 1e-12f));
+  }
+  Mat out(1, 1);
+  out.v[0] = static_cast<float>(loss / n);
+  Node* ln = logits.get();
+  return make_op(std::move(out), {logits},
+                 [ln, targets, n, c, probs = std::move(probs)](Node* o) {
+                   if (!ln->requires_grad) return;
+                   ln->ensure_grad();
+                   const float g = o->grad.v[0] / static_cast<float>(n);
+                   for (int i = 0; i < n; ++i) {
+                     for (int j = 0; j < c; ++j) {
+                       float d = probs.at(i, j);
+                       if (j == targets[static_cast<std::size_t>(i)]) d -= 1.f;
+                       ln->grad.at(i, j) += g * d;
+                     }
+                   }
+                 });
+}
+
+Tensor mse_loss(const Tensor& pred, const Mat& target) {
+  assert(pred->value.v.size() == target.v.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < target.v.size(); ++i) {
+    const double d = pred->value.v[i] - target.v[i];
+    sum += d * d;
+  }
+  Mat out(1, 1);
+  out.v[0] = static_cast<float>(sum / static_cast<double>(target.v.size()));
+  Node* pn = pred.get();
+  return make_op(std::move(out), {pred}, [pn, target](Node* o) {
+    if (!pn->requires_grad) return;
+    pn->ensure_grad();
+    const float g = o->grad.v[0] * 2.f / static_cast<float>(target.v.size());
+    for (std::size_t i = 0; i < target.v.size(); ++i) {
+      pn->grad.v[i] += g * (pn->value.v[i] - target.v[i]);
+    }
+  });
+}
+
+Tensor info_nce(const Tensor& anchors, const Tensor& positives,
+                float temperature) {
+  assert(anchors->value.rows == positives->value.rows);
+  const int n = anchors->value.rows;
+  Tensor a = normalize_rows(anchors);
+  Tensor p = normalize_rows(positives);
+  Tensor sim = matmul(a, transpose(p));         // NxN cosine similarities
+  Tensor logits = scale(sim, 1.f / temperature);
+  std::vector<int> targets(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) targets[static_cast<std::size_t>(i)] = i;
+  return cross_entropy(logits, targets);
+}
+
+void backward(const Tensor& loss) {
+  assert(loss->value.rows == 1 && loss->value.cols == 1);
+  if (!loss->requires_grad) return;
+  // Topological order via iterative DFS over parents.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack{{loss.get(), 0}};
+  visited.insert(loss.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx].get();
+      ++idx;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  loss->ensure_grad();
+  loss->grad.v[0] = 1.f;
+  // `order` is post-order (parents first); traverse in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p->value.rows, p->value.cols);
+    v_.emplace_back(p->value.rows, p->value.cols);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Node& p = *params_[k];
+    p.ensure_grad();
+    for (std::size_t i = 0; i < p.value.v.size(); ++i) {
+      const float g = p.grad.v[i];
+      m_[k].v[i] = beta1_ * m_[k].v[i] + (1.f - beta1_) * g;
+      v_[k].v[i] = beta2_ * v_[k].v[i] + (1.f - beta2_) * g * g;
+      const float mhat = m_[k].v[i] / bc1;
+      const float vhat = v_[k].v[i] / bc2;
+      p.value.v[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (const Tensor& p : params_) {
+    p->ensure_grad();
+    p->zero_grad();
+  }
+}
+
+}  // namespace nettag

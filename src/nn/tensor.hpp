@@ -1,0 +1,138 @@
+// Minimal dense-matrix reverse-mode autograd: the training-framework
+// substitute (the paper uses PyTorch on 12 GPUs; we train models small
+// enough for one CPU core).
+//
+// A Tensor is a shared handle to a Node holding a row-major float matrix,
+// its gradient, and a backward closure. Ops build the graph eagerly;
+// backward() topologically sorts the reachable graph and accumulates
+// gradients. All shapes are 2-D (rows x cols); vectors are 1xN or Nx1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nettag {
+
+/// Plain dense matrix (row-major).
+struct Mat {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> v;
+
+  Mat() = default;
+  Mat(int r, int c) : rows(r), cols(c), v(static_cast<std::size_t>(r) * c, 0.f) {}
+
+  float& at(int r, int c) { return v[static_cast<std::size_t>(r) * cols + c]; }
+  float at(int r, int c) const { return v[static_cast<std::size_t>(r) * cols + c]; }
+  std::size_t size() const { return v.size(); }
+};
+
+class Node;
+using Tensor = std::shared_ptr<Node>;
+
+/// One autograd graph node.
+class Node {
+ public:
+  Mat value;
+  Mat grad;                       ///< same shape as value (lazily allocated)
+  bool requires_grad = false;
+  std::vector<Tensor> parents;
+  std::function<void()> backward_fn;  ///< propagates this->grad to parents
+
+  explicit Node(Mat v, bool rg = false) : value(std::move(v)), requires_grad(rg) {
+    if (requires_grad) grad = Mat(value.rows, value.cols);
+  }
+
+  void ensure_grad() {
+    if (grad.rows != value.rows || grad.cols != value.cols) {
+      grad = Mat(value.rows, value.cols);
+    }
+  }
+
+  void zero_grad() { std::fill(grad.v.begin(), grad.v.end(), 0.f); }
+};
+
+// --- construction ------------------------------------------------------------
+
+/// Leaf tensor from a matrix. `requires_grad=true` marks a trainable
+/// parameter or an input needing gradients.
+Tensor make_tensor(Mat m, bool requires_grad = false);
+
+/// Trainable parameter with scaled-normal init (stddev = scale/sqrt(cols)).
+Tensor make_param(int rows, int cols, Rng& rng, float scale = 1.0f);
+
+/// Constant scalar wrapped as 1x1.
+Tensor scalar(float v);
+
+// --- ops (each returns a new graph node) --------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor add(const Tensor& a, const Tensor& b);        ///< same shape
+Tensor add_rowvec(const Tensor& a, const Tensor& b); ///< a: NxD, b: 1xD
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);        ///< elementwise
+Tensor scale(const Tensor& a, float s);
+Tensor relu(const Tensor& a);
+Tensor gelu(const Tensor& a);                        ///< tanh approximation
+Tensor tanh_op(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor transpose(const Tensor& a);
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+/// Stacks same-width tensors vertically (sum of rows x D).
+Tensor concat_rows(const std::vector<Tensor>& parts);
+Tensor slice_rows(const Tensor& a, int start, int count);
+Tensor mean_rows(const Tensor& a);                   ///< NxD -> 1xD
+Tensor sum_rows(const Tensor& a);                    ///< NxD -> 1xD
+Tensor softmax_rows(const Tensor& a);
+Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                      float eps = 1e-5f);
+/// Gathers rows of `table` (VxD) by ids -> NxD; gradients flow into table.
+Tensor embedding(const Tensor& table, const std::vector<int>& ids);
+/// L2-normalizes each row (for cosine similarity).
+Tensor normalize_rows(const Tensor& a, float eps = 1e-8f);
+/// Inverted dropout; identity when `train` is false or p == 0.
+Tensor dropout(const Tensor& a, float p, bool train, Rng& rng);
+
+// --- losses (return 1x1 scalars) ----------------------------------------------
+
+/// Mean softmax cross-entropy of logits (NxC) against integer targets.
+Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets);
+/// Mean squared error against a constant target matrix.
+Tensor mse_loss(const Tensor& pred, const Mat& target);
+/// InfoNCE: rows of `anchors` vs rows of `positives` (both NxD); the i-th
+/// positive is the matching row, all other rows in `positives` are negatives.
+/// Cosine similarities scaled by 1/temperature.
+Tensor info_nce(const Tensor& anchors, const Tensor& positives,
+                float temperature = 0.1f);
+
+// --- engine -------------------------------------------------------------------
+
+/// Runs reverse-mode autodiff from `loss` (must be 1x1): seeds d(loss)=1 and
+/// accumulates gradients into every reachable requires_grad node.
+void backward(const Tensor& loss);
+
+/// Adam optimizer over an explicit parameter list.
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Mat> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+}  // namespace nettag

@@ -1,0 +1,46 @@
+#include "physical/flow.hpp"
+
+#include <algorithm>
+
+#include "rtlgen/optimize.hpp"
+#include "util/timer.hpp"
+
+namespace nettag {
+
+PhysicalResult run_physical_flow(const Netlist& nl, Rng& rng, bool optimize,
+                                 double clock_period, int placement_passes) {
+  Timer timer;
+  PhysicalResult res;
+  if (optimize) {
+    // Layout-stage restructuring: remap cells, buffer heavy nets, clean up.
+    Netlist rewritten = logic_rewrite(nl, rng, 0.25);
+    Netlist buffered = insert_buffers(rewritten, 4);
+    res.implemented = cleanup(buffered);
+  } else {
+    // Even the non-optimizing flow legalizes heavy fanouts during placement.
+    res.implemented = insert_buffers(nl, 8);
+  }
+  res.placement = place(res.implemented, rng, placement_passes);
+  res.parasitics = extract_parasitics(res.implemented, res.placement);
+  if (clock_period <= 0.0) {
+    // Sign-off at a constraint with margin: slacks are mostly positive and
+    // sizeable, like a met-timing tapeout run.
+    const TimingReport probe = run_sta(res.implemented, res.parasitics, 0.0);
+    clock_period = 1.25 * probe.critical_path + 1e-3;
+  }
+  res.timing = run_sta(res.implemented, res.parasitics, clock_period);
+  res.power = run_power(res.implemented, res.parasitics);
+  // Achievable utilization depends on routing congestion: wire-heavy
+  // placements need more whitespace. (Synthesis tools assume a fixed target
+  // utilization, which is one source of their netlist-stage area error.)
+  const double wire_per_cell =
+      res.placement.total_hpwl / std::max<double>(1.0, static_cast<double>(
+                                                           res.implemented.size()));
+  const double utilization =
+      std::clamp(0.74 - 0.02 * wire_per_cell, 0.58, 0.74);
+  res.area = run_area(res.implemented, utilization);
+  res.runtime_seconds = timer.seconds();
+  return res;
+}
+
+}  // namespace nettag

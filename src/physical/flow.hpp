@@ -1,0 +1,35 @@
+// End-to-end physical design flow: the P&R + sign-off substitute.
+//
+// Chains (optional) layout optimization -> placement -> parasitic extraction
+// -> STA -> power -> area, returning all sign-off labels plus the measured
+// wall-clock runtime (Table VI's "EDA tool P&R" column). With
+// `optimize=true` the netlist is restructured first (logic rewriting +
+// fanout buffering + cleanup), which is what makes Task 4's "w/ opt" labels
+// diverge from netlist-stage estimates, exactly the gap PowPrediCT studies.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "physical/analysis.hpp"
+#include "physical/placement.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+
+struct PhysicalResult {
+  Netlist implemented;   ///< the netlist that was actually placed
+  Placement placement;
+  Parasitics parasitics;
+  TimingReport timing;
+  PowerReport power;
+  AreaReport area;
+  double runtime_seconds = 0.0;
+};
+
+/// Runs the flow. `clock_period` <= 0 selects it automatically as
+/// 0.95 * critical path (so some endpoints end up with negative slack,
+/// like a sign-off run at an aggressive target).
+PhysicalResult run_physical_flow(const Netlist& nl, Rng& rng, bool optimize,
+                                 double clock_period = 0.0,
+                                 int placement_passes = 6);
+
+}  // namespace nettag

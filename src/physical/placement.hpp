@@ -1,0 +1,37 @@
+// Standard-cell placement: the Innovus substitute.
+//
+// Cells are placed on rows (levelized initial placement: row = logic depth)
+// and then improved by wirelength-driven pairwise-swap passes — a real,
+// measurable optimization loop. Placement feeds the parasitic extractor
+// (SPEF substitute) and hence the timing/power labels; its runtime is what
+// the Table VI "EDA tool P&R" column measures.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+
+/// Cell coordinates in micrometres (cell centre).
+struct Placement {
+  std::vector<double> x;
+  std::vector<double> y;
+  double row_height = 2.0;
+  double total_hpwl = 0.0;  ///< half-perimeter wirelength after refinement
+  int swap_passes = 0;
+};
+
+/// Half-perimeter wirelength of one net (driver + its sinks).
+double net_hpwl(const Netlist& nl, const Placement& pl, GateId driver);
+
+/// Total HPWL over all nets.
+double total_hpwl(const Netlist& nl, const Placement& pl);
+
+/// Places `nl`: levelized rows, then `passes` random pairwise-swap
+/// improvement passes (each pass attempts ~size() swaps, keeping those that
+/// reduce HPWL). More passes = better wirelength = slower, like a real tool.
+Placement place(const Netlist& nl, Rng& rng, int passes = 6);
+
+}  // namespace nettag

@@ -1,0 +1,75 @@
+#include "physical/spef.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nettag {
+
+void write_spef(std::ostream& os, const Netlist& nl, const Parasitics& para) {
+  os << "*SPEF \"IEEE 1481 style\"\n"
+     << "*DESIGN \"" << nl.name() << "\"\n"
+     << "*C_UNIT 1 FF\n*R_UNIT 1 KOHM\n\n";
+  os << std::fixed << std::setprecision(4);
+  for (const Gate& g : nl.gates()) {
+    if (g.fanouts.empty()) continue;
+    const NetParasitics& net = para.nets[static_cast<std::size_t>(g.id)];
+    os << "*D_NET " << g.name << " " << net.load() << "\n"
+       << "*RES " << net.wire_res << "\n"
+       << "*WIRE_CAP " << net.wire_cap << "\n"
+       << "*PIN_CAP " << net.pin_cap << "\n"
+       << "*END\n";
+  }
+}
+
+std::string spef_to_string(const Netlist& nl, const Parasitics& para) {
+  std::ostringstream ss;
+  write_spef(ss, nl, para);
+  return ss.str();
+}
+
+Parasitics read_spef(std::istream& is, const Netlist& nl) {
+  Parasitics para;
+  para.nets.resize(nl.size());
+  std::string line;
+  int lineno = 0;
+  GateId current = kNoGate;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("read_spef: line " + std::to_string(lineno) +
+                             ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+    if (tag == "*D_NET") {
+      std::string name;
+      double total = 0;
+      if (!(ls >> name >> total)) fail("malformed *D_NET");
+      current = nl.find(name);
+      if (current == kNoGate) fail("unknown net '" + name + "'");
+    } else if (tag == "*RES") {
+      if (current == kNoGate) fail("*RES outside *D_NET");
+      ls >> para.nets[static_cast<std::size_t>(current)].wire_res;
+    } else if (tag == "*WIRE_CAP") {
+      if (current == kNoGate) fail("*WIRE_CAP outside *D_NET");
+      ls >> para.nets[static_cast<std::size_t>(current)].wire_cap;
+    } else if (tag == "*PIN_CAP") {
+      if (current == kNoGate) fail("*PIN_CAP outside *D_NET");
+      ls >> para.nets[static_cast<std::size_t>(current)].pin_cap;
+    } else if (tag == "*END") {
+      current = kNoGate;
+    }
+    // Header lines (*SPEF, *DESIGN, units) are informational.
+  }
+  return para;
+}
+
+Parasitics spef_from_string(const std::string& text, const Netlist& nl) {
+  std::istringstream ss(text);
+  return read_spef(ss, nl);
+}
+
+}  // namespace nettag

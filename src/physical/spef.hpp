@@ -1,0 +1,28 @@
+// Standard Parasitic Exchange Format (SPEF) style writer/reader.
+//
+// The paper's layout graphs are annotated "with capacitance, resistance, and
+// delay values extracted from the SPEF file" (§II-B). This module emits and
+// re-reads our extracted parasitics in a SPEF-shaped format so the layout
+// artifacts are inspectable and the extraction is round-trippable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "physical/analysis.hpp"
+
+namespace nettag {
+
+/// Writes parasitics in a SPEF-like format: a header plus one *D_NET block
+/// per driven net (total cap, wire R, pin C).
+void write_spef(std::ostream& os, const Netlist& nl, const Parasitics& para);
+std::string spef_to_string(const Netlist& nl, const Parasitics& para);
+
+/// Parses the format produced by write_spef back into per-net parasitics
+/// (nets resolved by driver gate name against `nl`). Throws
+/// std::runtime_error on malformed input or unknown nets.
+Parasitics read_spef(std::istream& is, const Netlist& nl);
+Parasitics spef_from_string(const std::string& text, const Netlist& nl);
+
+}  // namespace nettag

@@ -1,0 +1,38 @@
+// Netlist optimization and rewriting passes.
+//
+// Three roles, mirroring the paper's data pipeline:
+//  * cleanup(): constant propagation + buffer/double-inverter collapse +
+//    dead-gate elimination — the always-on logic optimization a synthesis
+//    tool applies.
+//  * logic_rewrite(): random local equivalence rewrites (AND <-> NAND+INV,
+//    De Morgan, MUX -> AOI22, MAJ decomposition, ...). Used for (a)
+//    functionally-equivalent netlist augmentation — the positive samples of
+//    graph contrastive pre-training (Objective #2.2) — and (b) the
+//    "physical design optimization" that makes Task 4's "w/ opt" labels
+//    diverge from netlist-stage estimates.
+//  * insert_buffers(): fanout buffering, the layout-stage transform that
+//    perturbs timing/area after synthesis.
+//
+// All passes preserve Boolean function, register set, port names, RTL-block
+// labels, and output markers.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+
+/// Constant propagation, BUF removal, INV-pair collapse, dead logic removal.
+/// Ports and registers are always kept. Idempotent up to gate naming.
+Netlist cleanup(const Netlist& in);
+
+/// Rewrites each logic gate into an equivalent composite with probability
+/// `intensity` (0..1), and sprinkles inverter pairs on random nets. The
+/// result computes the same function with a different structure/cell mix.
+Netlist logic_rewrite(const Netlist& in, Rng& rng, double intensity);
+
+/// Inserts BUF cells so no net drives more than `max_fanout` sinks.
+/// Operates in place on a copy.
+Netlist insert_buffers(const Netlist& in, int max_fanout);
+
+}  // namespace nettag

@@ -1,0 +1,187 @@
+#include "tasks/finetune.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace nettag {
+
+Mat vstack(const std::vector<Mat>& rows) {
+  assert(!rows.empty());
+  const int d = rows[0].cols;
+  int total = 0;
+  for (const Mat& r : rows) total += r.rows;
+  Mat out(total, d);
+  int at = 0;
+  for (const Mat& r : rows) {
+    assert(r.cols == d);
+    std::copy(r.v.begin(), r.v.end(),
+              out.v.begin() + static_cast<std::ptrdiff_t>(at) * d);
+    at += r.rows;
+  }
+  return out;
+}
+
+Mat take_rows(const Mat& x, const std::vector<int>& idx) {
+  Mat out(static_cast<int>(idx.size()), x.cols);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    for (int j = 0; j < x.cols; ++j) {
+      out.at(static_cast<int>(i), j) = x.at(idx[i], j);
+    }
+  }
+  return out;
+}
+
+void fit_column_stats(const Mat& x, std::vector<float>* mean,
+                      std::vector<float>* std) {
+  mean->assign(static_cast<std::size_t>(x.cols), 0.f);
+  std->assign(static_cast<std::size_t>(x.cols), 1.f);
+  if (x.rows == 0) return;
+  for (int j = 0; j < x.cols; ++j) {
+    double s = 0, sq = 0;
+    for (int i = 0; i < x.rows; ++i) {
+      s += x.at(i, j);
+      sq += static_cast<double>(x.at(i, j)) * x.at(i, j);
+    }
+    const double m = s / x.rows;
+    const double v = std::max(sq / x.rows - m * m, 1e-8);
+    (*mean)[static_cast<std::size_t>(j)] = static_cast<float>(m);
+    (*std)[static_cast<std::size_t>(j)] = static_cast<float>(std::sqrt(v));
+  }
+  // Floor each column std at a fraction of the average std: columns with
+  // near-zero variance would otherwise amplify noise after division.
+  double avg = 0;
+  for (float s : *std) avg += s;
+  avg /= static_cast<double>(std->size());
+  const float floor_std = static_cast<float>(0.25 * avg);
+  for (float& s : *std) s = std::max(s, floor_std);
+}
+
+Mat apply_column_stats(const Mat& x, const std::vector<float>& mean,
+                       const std::vector<float>& std) {
+  if (mean.empty()) return x;
+  Mat out = x;
+  for (int i = 0; i < out.rows; ++i) {
+    for (int j = 0; j < out.cols; ++j) {
+      out.at(i, j) = (out.at(i, j) - mean[static_cast<std::size_t>(j)]) /
+                     std[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+ClassifierHead::ClassifierHead(int in_dim, int num_classes,
+                               const FinetuneOptions& options, Rng& rng)
+    : options_(options), num_classes_(num_classes) {
+  mlp_ = std::make_unique<Mlp>(in_dim, options.hidden, num_classes, rng);
+}
+
+void ClassifierHead::fit(const Mat& x_raw, const std::vector<int>& y, Rng& rng) {
+  assert(x_raw.rows == static_cast<int>(y.size()));
+  if (x_raw.rows == 0) return;
+  fit_column_stats(x_raw, &col_mean_, &col_std_);
+  const Mat x = apply_column_stats(x_raw, col_mean_, col_std_);
+  Adam opt(mlp_->params(), options_.lr);
+
+  // Optional inverse-frequency resampling for imbalanced tasks: oversample
+  // minority classes in the minibatch draw.
+  std::vector<std::vector<int>> by_class(static_cast<std::size_t>(num_classes_));
+  for (int i = 0; i < x.rows; ++i) {
+    by_class[static_cast<std::size_t>(y[static_cast<std::size_t>(i)])].push_back(i);
+  }
+  std::vector<int> nonempty;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (!by_class[static_cast<std::size_t>(c)].empty()) nonempty.push_back(c);
+  }
+
+  for (int step = 0; step < options_.steps; ++step) {
+    std::vector<int> idx;
+    std::vector<int> labels;
+    for (int b = 0; b < options_.batch; ++b) {
+      int i;
+      if (options_.class_weighted) {
+        const int c = nonempty[rng.index(nonempty.size())];
+        const auto& pool = by_class[static_cast<std::size_t>(c)];
+        i = pool[rng.index(pool.size())];
+      } else {
+        i = static_cast<int>(rng.index(static_cast<std::size_t>(x.rows)));
+      }
+      idx.push_back(i);
+      labels.push_back(y[static_cast<std::size_t>(i)]);
+    }
+    Tensor logits = mlp_->forward(make_tensor(take_rows(x, idx), false));
+    Tensor loss = cross_entropy(logits, labels);
+    backward(loss);
+    opt.step();
+  }
+}
+
+Mat ClassifierHead::scores(const Mat& x) const {
+  return mlp_->forward(make_tensor(apply_column_stats(x, col_mean_, col_std_),
+                                   false))
+      ->value;
+}
+
+std::vector<int> ClassifierHead::predict(const Mat& x) const {
+  const Mat s = scores(x);
+  std::vector<int> out(static_cast<std::size_t>(s.rows));
+  for (int i = 0; i < s.rows; ++i) {
+    int best = 0;
+    for (int j = 1; j < s.cols; ++j) {
+      if (s.at(i, j) > s.at(i, best)) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+RegressorHead::RegressorHead(int in_dim, const FinetuneOptions& options, Rng& rng)
+    : options_(options) {
+  mlp_ = std::make_unique<Mlp>(in_dim, options.hidden, 1, rng);
+}
+
+void RegressorHead::fit(const Mat& x_raw, const std::vector<double>& y, Rng& rng) {
+  assert(x_raw.rows == static_cast<int>(y.size()));
+  if (x_raw.rows == 0) return;
+  fit_column_stats(x_raw, &col_mean_, &col_std_);
+  const Mat x = apply_column_stats(x_raw, col_mean_, col_std_);
+  // Z-score normalization of targets for stable training.
+  double sum = 0, sq = 0;
+  for (double v : y) {
+    sum += v;
+    sq += v * v;
+  }
+  mean_ = sum / static_cast<double>(y.size());
+  std_ = std::sqrt(std::max(sq / static_cast<double>(y.size()) - mean_ * mean_,
+                            1e-12));
+  Adam opt(mlp_->params(), options_.lr);
+  for (int step = 0; step < options_.steps; ++step) {
+    std::vector<int> idx;
+    for (int b = 0; b < options_.batch; ++b) {
+      idx.push_back(static_cast<int>(rng.index(static_cast<std::size_t>(x.rows))));
+    }
+    Mat target(static_cast<int>(idx.size()), 1);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      target.at(static_cast<int>(i), 0) = static_cast<float>(
+          (y[static_cast<std::size_t>(idx[i])] - mean_) / std_);
+    }
+    Tensor pred = mlp_->forward(make_tensor(take_rows(x, idx), false));
+    Tensor loss = mse_loss(pred, target);
+    backward(loss);
+    opt.step();
+  }
+}
+
+std::vector<double> RegressorHead::predict(const Mat& x) const {
+  const Mat p =
+      mlp_->forward(
+              make_tensor(apply_column_stats(x, col_mean_, col_std_), false))
+          ->value;
+  std::vector<double> out(static_cast<std::size_t>(p.rows));
+  for (int i = 0; i < p.rows; ++i) {
+    out[static_cast<std::size_t>(i)] = p.at(i, 0) * std_ + mean_;
+  }
+  return out;
+}
+
+}  // namespace nettag

@@ -1,0 +1,47 @@
+// Gradient-boosted regression trees: the paper's alternative lightweight
+// fine-tuning model ("MLPs or tree-based models (e.g., XGBoost)", §II-F).
+// Squared-error boosting over depth-limited CART trees with histogram-free
+// exact splits — adequate at our feature/sample scale.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+
+struct GbdtOptions {
+  int num_trees = 60;
+  int max_depth = 3;
+  int min_samples_leaf = 4;
+  double learning_rate = 0.15;
+  double subsample = 0.8;      ///< row subsampling per tree
+  int max_split_candidates = 24;  ///< thresholds tried per feature
+};
+
+/// Boosted-trees regressor on dense feature rows.
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(const GbdtOptions& options = {});
+  ~GbdtRegressor();
+  GbdtRegressor(GbdtRegressor&&) noexcept;
+  GbdtRegressor& operator=(GbdtRegressor&&) noexcept;
+
+  /// Fits on rows of `x` against targets `y`.
+  void fit(const Mat& x, const std::vector<double>& y, Rng& rng);
+
+  std::vector<double> predict(const Mat& x) const;
+  double predict_row(const Mat& x, int row) const;
+
+  /// Number of fitted trees (0 before fit).
+  int num_trees() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  GbdtOptions options_;
+};
+
+}  // namespace nettag

@@ -1,0 +1,59 @@
+// Evaluation metrics used by every downstream task and benchmark:
+// classification (accuracy, macro precision/recall/F1, sensitivity, balanced
+// accuracy) and regression (Pearson R, MAPE, MAE, RMSE).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nettag {
+
+/// Aggregate classification metrics. Precision/recall/F1 are macro-averaged
+/// over the classes that appear in the ground truth (matching how GNN-RE /
+/// Table III report per-design scores).
+struct ClassificationReport {
+  double accuracy = 0.0;
+  double precision = 0.0;  ///< macro
+  double recall = 0.0;     ///< macro
+  double f1 = 0.0;         ///< macro
+  std::size_t num_samples = 0;
+  std::size_t num_classes = 0;
+};
+
+/// Computes macro classification metrics; labels are small non-negative ints.
+ClassificationReport classification_report(const std::vector<int>& y_true,
+                                           const std::vector<int>& y_pred);
+
+/// Binary metrics for Task 2 (state register = positive class 1).
+/// sensitivity = TP / (TP + FN); balanced accuracy = (sens + specificity) / 2.
+struct BinaryReport {
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  double balanced_accuracy = 0.0;
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+};
+
+BinaryReport binary_report(const std::vector<int>& y_true,
+                           const std::vector<int>& y_pred);
+
+/// Regression metrics for Tasks 3-4.
+struct RegressionReport {
+  double pearson_r = 0.0;
+  double mape = 0.0;  ///< mean absolute percentage error, in percent
+  double mae = 0.0;
+  double rmse = 0.0;
+  std::size_t num_samples = 0;
+};
+
+/// MAPE skips targets with |y| below `mape_floor` to avoid division blowup
+/// (slack values cross zero; the paper's MAPE is over sufficiently-large
+/// magnitudes, which we emulate with a floor).
+RegressionReport regression_report(const std::vector<double>& y_true,
+                                   const std::vector<double>& y_pred,
+                                   double mape_floor = 1e-6);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace nettag

@@ -1,0 +1,20 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nettag {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  k = std::min(k, n);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher-Yates: first k entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + index(n - i)]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace nettag

@@ -1,0 +1,36 @@
+// Minimal fixed-width ASCII table printer so each bench binary regenerates its
+// paper table with aligned columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nettag {
+
+/// Accumulates rows of strings and prints them with per-column alignment.
+class TextTable {
+ public:
+  /// Sets the header row; column count is inferred from it.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next row.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 2);
+
+/// Formats a percentage (value already in percent) with given precision.
+std::string pct(double value, int precision = 0);
+
+}  // namespace nettag

@@ -1,0 +1,28 @@
+// Wall-clock timing used by the runtime benchmarks (Table VI) and the
+// preprocessing/inference breakdowns.
+#pragma once
+
+#include <chrono>
+
+namespace nettag {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nettag

@@ -1,0 +1,102 @@
+// Tests for the interchange artifacts: SPEF writer/reader and the structural
+// Verilog emitter.
+#include <gtest/gtest.h>
+
+#include "netlist/verilog_writer.hpp"
+#include "physical/flow.hpp"
+#include "physical/spef.hpp"
+#include "rtlgen/generator.hpp"
+
+namespace nettag {
+namespace {
+
+TEST(Spef, RoundTripParasitics) {
+  Rng rng(7);
+  const Netlist nl =
+      generate_design(family_profile("opencores"), rng, "spef_t").netlist;
+  const Placement pl = place(nl, rng, 2);
+  const Parasitics para = extract_parasitics(nl, pl);
+  const std::string text = spef_to_string(nl, para);
+  EXPECT_NE(text.find("*SPEF"), std::string::npos);
+  EXPECT_NE(text.find("*D_NET"), std::string::npos);
+
+  const Parasitics back = spef_from_string(text, nl);
+  for (const Gate& g : nl.gates()) {
+    if (g.fanouts.empty()) continue;  // undriven nets are not emitted
+    const std::size_t i = static_cast<std::size_t>(g.id);
+    EXPECT_NEAR(back.nets[i].wire_res, para.nets[i].wire_res, 1e-3) << g.name;
+    EXPECT_NEAR(back.nets[i].wire_cap, para.nets[i].wire_cap, 1e-3);
+    EXPECT_NEAR(back.nets[i].pin_cap, para.nets[i].pin_cap, 1e-3);
+  }
+}
+
+TEST(Spef, MalformedRejected) {
+  Netlist nl("t");
+  nl.add_port("a");
+  EXPECT_THROW(spef_from_string("*D_NET nope 1.0\n", nl), std::runtime_error);
+  EXPECT_THROW(spef_from_string("*RES 1.0\n", nl), std::runtime_error);
+}
+
+TEST(Spef, ReadBackDrivesSameSta) {
+  // STA on round-tripped parasitics must match the original analysis.
+  Rng rng(8);
+  const Netlist nl =
+      generate_design(family_profile("itc99"), rng, "spef_sta").netlist;
+  const Placement pl = place(nl, rng, 2);
+  const Parasitics para = extract_parasitics(nl, pl);
+  const Parasitics back = spef_from_string(spef_to_string(nl, para), nl);
+  const TimingReport a = run_sta(nl, para, 2.0);
+  const TimingReport b = run_sta(nl, back, 2.0);
+  for (GateId e : a.endpoints) {
+    EXPECT_NEAR(a.slack[static_cast<std::size_t>(e)],
+                b.slack[static_cast<std::size_t>(e)], 1e-2);
+  }
+}
+
+TEST(Verilog, EmitsWellFormedModule) {
+  Rng rng(9);
+  const Netlist nl =
+      generate_design(family_profile("opencores"), rng, "vlog_t").netlist;
+  const std::string v = verilog_to_string(nl);
+  EXPECT_NE(v.find("module vlog_t"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Sequential design: clock port + DFF instances present.
+  EXPECT_NE(v.find("input clk;"), std::string::npos);
+  EXPECT_NE(v.find("DFF "), std::string::npos);
+  EXPECT_NE(v.find(".CK(clk)"), std::string::npos);
+  // Every logic cell name that appears in the netlist appears in the text.
+  const auto counts = nl.type_counts();
+  for (const CellInfo& c : all_cells()) {
+    if (c.type == CellType::kPort || c.type == CellType::kConst0 ||
+        c.type == CellType::kConst1) {
+      continue;
+    }
+    if (counts[static_cast<std::size_t>(c.type)] > 0) {
+      EXPECT_NE(v.find(std::string("  ") + c.name + " "), std::string::npos)
+          << c.name;
+    }
+  }
+}
+
+TEST(Verilog, BusNamesEscaped) {
+  Netlist nl("esc");
+  const GateId p = nl.add_port("in0[3]");
+  const GateId g = nl.add_gate(CellType::kInv, "n1", {p});
+  nl.mark_output(g);
+  const std::string v = verilog_to_string(nl);
+  EXPECT_NE(v.find("\\in0[3] "), std::string::npos);
+}
+
+TEST(Verilog, CombinationalModuleHasNoClock) {
+  Netlist nl("comb");
+  const GateId a = nl.add_port("a");
+  const GateId b = nl.add_port("b");
+  const GateId g = nl.add_gate(CellType::kNand2, "g1", {a, b});
+  nl.mark_output(g);
+  const std::string v = verilog_to_string(nl);
+  EXPECT_EQ(v.find("input clk"), std::string::npos);
+  EXPECT_NE(v.find("NAND2 i_g1 (.A(a), .B(b), .Y(g1));"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nettag

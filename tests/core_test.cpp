@@ -1,0 +1,239 @@
+// Tests for the TAG formulation, corpus/dataset builder, and the NetTag
+// facade (embedding API, caching, persistence).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/dataset.hpp"
+#include "core/nettag.hpp"
+#include "core/tag.hpp"
+#include "tasks/labels.hpp"
+
+namespace nettag {
+namespace {
+
+Netlist fig3() {
+  Netlist nl("fig3");
+  const GateId r1 = nl.add_port("R1");
+  const GateId r2 = nl.add_port("R2");
+  const GateId u1 = nl.add_gate(CellType::kXor2, "U1", {r1, r2});
+  const GateId u2 = nl.add_gate(CellType::kInv, "U2", {r2});
+  const GateId u3 = nl.add_gate(CellType::kNor2, "U3", {u1, u2});
+  nl.mark_output(u3);
+  nl.gate(u1).rtl_block = "add";  // label that must NOT leak into the TAG
+  return nl;
+}
+
+TEST(Tag, AttributeContainsPaperExpression) {
+  const Netlist nl = fig3();
+  const std::string attr = gate_text_attribute(nl, nl.find("U3"), 2);
+  EXPECT_NE(attr.find("!((R1^R2)|!R2)"), std::string::npos) << attr;
+  EXPECT_NE(attr.find("type NOR2"), std::string::npos);
+  EXPECT_NE(attr.find("phys"), std::string::npos);
+  EXPECT_NE(attr.find("toggle"), std::string::npos);
+  EXPECT_NE(attr.find("prob"), std::string::npos);
+}
+
+TEST(Tag, NoLabelLeakage) {
+  // The RTL-block label is Task 1's target; it must never appear in the
+  // text attribute (the paper makes the same point about GNN-RE's data).
+  const Netlist nl = fig3();
+  for (const Gate& g : nl.gates()) {
+    const std::string attr = gate_text_attribute(nl, g.id, 2);
+    EXPECT_EQ(attr.find("add"), std::string::npos) << attr;
+    EXPECT_EQ(attr.find("block"), std::string::npos) << attr;
+  }
+}
+
+TEST(Tag, BuildTagShapes) {
+  const Netlist nl = fig3();
+  const TagGraph tag = build_tag(nl, 2);
+  EXPECT_EQ(tag.num_nodes(), static_cast<int>(nl.size()));
+  EXPECT_EQ(tag.phys.rows, static_cast<int>(nl.size()));
+  // R1->U1, R2->U1, R2->U2, U1->U3, U2->U3.
+  EXPECT_EQ(static_cast<int>(tag.edges.size()), 5);
+}
+
+TEST(Tag, PortsHaveNoExpression) {
+  const Netlist nl = fig3();
+  const std::string attr = gate_text_attribute(nl, nl.find("R1"), 2);
+  EXPECT_EQ(attr.find("expr"), std::string::npos) << attr;
+}
+
+TEST(Dataset, CorpusCoversAllFamilies) {
+  Rng rng(17);
+  CorpusOptions co;
+  co.designs_per_family = 2;
+  co.with_physical = false;
+  const Corpus corpus = build_corpus(co, rng);
+  EXPECT_EQ(corpus.families.size(), 4u);
+  EXPECT_EQ(corpus.designs.size(), 8u);
+  for (const DesignSample& d : corpus.designs) {
+    EXPECT_FALSE(d.cones.empty());
+    for (const ConeSample& c : d.cones) {
+      c.cone.validate();
+      EXPECT_FALSE(c.register_name.empty());
+      EXPECT_FALSE(c.rtl_text.empty());
+    }
+  }
+}
+
+TEST(Dataset, PhysicalLabelsPopulated) {
+  Rng rng(18);
+  CorpusOptions co;
+  co.designs_per_family = 1;
+  const Corpus corpus = build_corpus(co, rng);
+  for (const DesignSample& d : corpus.designs) {
+    EXPECT_GT(d.area_wo_opt, 0.0);
+    EXPECT_GT(d.area_w_opt, 0.0);
+    EXPECT_GT(d.power_wo_opt, 0.0);
+    EXPECT_GT(d.power_w_opt, 0.0);
+    EXPECT_GT(d.tool_area, 0.0);
+    EXPECT_GT(d.tool_power, 0.0);
+    EXPECT_GT(d.pr_runtime_seconds, 0.0);
+    int with_layout = 0;
+    for (const ConeSample& c : d.cones) {
+      EXPECT_GT(c.clock_period, 0.0);
+      if (c.has_layout) {
+        ++with_layout;
+        EXPECT_FALSE(c.layout.node_feats.empty());
+      }
+    }
+    EXPECT_GT(with_layout, 0);
+  }
+}
+
+TEST(Dataset, ExpressionCollection) {
+  Rng rng(19);
+  CorpusOptions co;
+  co.designs_per_family = 1;
+  co.with_physical = false;
+  const Corpus corpus = build_corpus(co, rng);
+  const auto exprs = collect_expressions(corpus, 2, 50);
+  EXPECT_FALSE(exprs.empty());
+  // Every collected string must parse as a Boolean expression.
+  for (const auto& e : exprs) {
+    EXPECT_NO_THROW(parse_expr(e)) << e;
+  }
+  // Per-design cap respected.
+  EXPECT_LE(exprs.size(), corpus.designs.size() * 50);
+}
+
+TEST(Dataset, StatisticsConsistent) {
+  Rng rng(20);
+  CorpusOptions co;
+  co.designs_per_family = 1;
+  co.with_physical = false;
+  const Corpus corpus = build_corpus(co, rng);
+  const auto stats = corpus_statistics(corpus, 2);
+  ASSERT_EQ(stats.size(), 4u);
+  std::size_t cones = 0;
+  for (const auto& fs : stats) {
+    cones += fs.cone_count;
+    if (fs.cone_count) EXPECT_GT(fs.avg_cone_nodes, 0.0);
+    if (fs.expr_count) EXPECT_GT(fs.avg_expr_tokens, 0.0);
+  }
+  std::size_t expected = 0;
+  for (const auto& d : corpus.designs) expected += d.cones.size();
+  EXPECT_EQ(cones, expected);
+}
+
+TEST(NetTagModel, EmbeddingShapes) {
+  NetTag model(NetTagConfig{}, 3);
+  const Netlist nl = fig3();
+  const NetTag::ConeEmbedding emb = model.embed(nl);
+  EXPECT_EQ(emb.nodes.rows, static_cast<int>(nl.size()));
+  EXPECT_EQ(emb.nodes.cols, model.embedding_dim());
+  EXPECT_EQ(emb.cls.rows, 1);
+  EXPECT_EQ(emb.inputs.rows, static_cast<int>(nl.size()));
+  EXPECT_EQ(emb.inputs.cols, model.tag_in_dim());
+}
+
+TEST(NetTagModel, TextCacheDedupsByStructure) {
+  NetTag model(NetTagConfig{}, 3);
+  // Two same-structure netlists with different names share cache entries.
+  Netlist a("a");
+  const GateId pa = a.add_port("x");
+  a.add_gate(CellType::kInv, "ga", {pa});
+  Netlist b("b");
+  const GateId pb = b.add_port("y");
+  b.add_gate(CellType::kInv, "gb", {pb});
+  model.embed(a);
+  const std::size_t after_a = model.text_cache_size();
+  model.embed(b);
+  EXPECT_EQ(model.text_cache_size(), after_a);
+}
+
+TEST(NetTagModel, EmbedCircuitSequentialUsesCones) {
+  Rng rng(4);
+  NetTag model(NetTagConfig{}, 3);
+  const Netlist nl =
+      generate_design(family_profile("opencores"), rng, "seq").netlist;
+  ASSERT_FALSE(nl.registers().empty());
+  const Mat emb = model.embed_circuit(nl);
+  EXPECT_EQ(emb.rows, 1);
+  EXPECT_EQ(emb.cols, model.embedding_dim());
+  // Combinational circuit: direct CLS (must also work).
+  const Mat comb = model.embed_circuit(fig3());
+  EXPECT_EQ(comb.cols, model.embedding_dim());
+}
+
+TEST(NetTagModel, ConeFeatureShape) {
+  Rng rng(5);
+  NetTag model(NetTagConfig{}, 3);
+  const Netlist nl =
+      generate_design(family_profile("opencores"), rng, "cf").netlist;
+  const auto cones = extract_register_cones(nl, 60);
+  ASSERT_FALSE(cones.empty());
+  const Mat f = model.cone_feature(cones[0].cone);
+  EXPECT_EQ(f.rows, 1);
+  EXPECT_EQ(f.cols, model.cone_feature_dim());
+}
+
+TEST(NetTagModel, SaveLoadRoundTrip) {
+  NetTag model(NetTagConfig{}, 3);
+  const Netlist nl = fig3();
+  const Mat before = model.embed(nl).cls;
+  model.save("/tmp/nettag_test_model");
+  NetTag other(NetTagConfig{}, 99);  // different init
+  const Mat different = other.embed(nl).cls;
+  other.load("/tmp/nettag_test_model");
+  const Mat after = other.embed(nl).cls;
+  double diff_loaded = 0, diff_init = 0;
+  for (int j = 0; j < before.cols; ++j) {
+    diff_loaded += std::abs(before.at(0, j) - after.at(0, j));
+    diff_init += std::abs(before.at(0, j) - different.at(0, j));
+  }
+  EXPECT_LT(diff_loaded, 1e-4);
+  EXPECT_GT(diff_init, 1e-3);
+  std::remove("/tmp/nettag_test_model.exprllm.bin");
+  std::remove("/tmp/nettag_test_model.tagformer.bin");
+}
+
+TEST(NetTagModel, WithoutTextAblationChangesInputDim) {
+  NetTagConfig with_text;
+  NetTagConfig without;
+  without.use_text_attributes = false;
+  NetTag a(with_text, 3);
+  NetTag b(without, 3);
+  EXPECT_NE(a.tag_in_dim(), b.tag_in_dim());
+  // Both must still embed.
+  const Netlist nl = fig3();
+  EXPECT_EQ(a.embed(nl).cls.cols, a.embedding_dim());
+  EXPECT_EQ(b.embed(nl).cls.cols, b.embedding_dim());
+}
+
+TEST(Labels, Task1ClassMappingTotal) {
+  // Every label the generator emits maps to a class.
+  for (const std::string& label : task1_labels()) {
+    if (label == "datapath") continue;  // register-only label
+    EXPECT_GE(task1_class_id(label), 0) << label;
+  }
+  EXPECT_EQ(task1_class_id("unknown_block"), -1);
+  EXPECT_EQ(task1_class_id("add"), task1_class_id("alu"));
+  EXPECT_NE(task1_class_id("add"), task1_class_id("sub"));
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,163 @@
+// Unit tests for the Boolean expression engine (src/expr).
+#include <gtest/gtest.h>
+
+#include "expr/expr.hpp"
+
+namespace nettag {
+namespace {
+
+TEST(Expr, ConstantsEvaluate) {
+  EXPECT_FALSE(eval(Expr::constant(false), {}));
+  EXPECT_TRUE(eval(Expr::constant(true), {}));
+}
+
+TEST(Expr, VarLookupDefaultsFalse) {
+  auto a = Expr::var("a");
+  EXPECT_FALSE(eval(a, {}));
+  EXPECT_TRUE(eval(a, {{"a", true}}));
+  EXPECT_FALSE(eval(a, {{"a", false}}));
+}
+
+TEST(Expr, NotAndOrXorSemantics) {
+  auto a = Expr::var("a");
+  auto b = Expr::var("b");
+  auto land = Expr::land(a, b);
+  auto lor = Expr::lor(a, b);
+  auto lxor = Expr::lxor(a, b);
+  auto lnot = Expr::lnot(a);
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      Assignment asg{{"a", va}, {"b", vb}};
+      EXPECT_EQ(eval(land, asg), va && vb);
+      EXPECT_EQ(eval(lor, asg), va || vb);
+      EXPECT_EQ(eval(lxor, asg), va != vb);
+      EXPECT_EQ(eval(lnot, asg), !va);
+    }
+  }
+}
+
+TEST(Expr, NaryOperators) {
+  auto e = Expr::land({Expr::var("x"), Expr::var("y"), Expr::var("z")});
+  EXPECT_TRUE(eval(e, {{"x", true}, {"y", true}, {"z", true}}));
+  EXPECT_FALSE(eval(e, {{"x", true}, {"y", false}, {"z", true}}));
+  auto x3 = Expr::lxor({Expr::var("x"), Expr::var("y"), Expr::var("z")});
+  EXPECT_TRUE(eval(x3, {{"x", true}, {"y", true}, {"z", true}}));
+  EXPECT_FALSE(eval(x3, {{"x", true}, {"y", true}, {"z", false}}));
+}
+
+TEST(Expr, SingleChildNaryUnwraps) {
+  auto a = Expr::var("a");
+  auto e = Expr::land(std::vector<ExprPtr>{a});
+  EXPECT_EQ(e->kind(), ExprKind::kVar);
+}
+
+TEST(Expr, SupportIsSortedAndUnique) {
+  auto e = Expr::lor(Expr::land(Expr::var("b"), Expr::var("a")),
+                     Expr::lnot(Expr::var("b")));
+  const auto s = support(e);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "a");
+  EXPECT_EQ(s[1], "b");
+}
+
+TEST(Expr, ToStringMatchesPaperStyle) {
+  // Paper example: U3 = !((R1^R2)|!R2)
+  auto e = Expr::lnot(
+      Expr::lor(Expr::lxor(Expr::var("R1"), Expr::var("R2")),
+                Expr::lnot(Expr::var("R2"))));
+  EXPECT_EQ(to_string(e), "!((R1^R2)|!R2)");
+}
+
+TEST(Expr, ToStringNary) {
+  auto e = Expr::land({Expr::var("a"), Expr::var("b"), Expr::var("c")});
+  EXPECT_EQ(to_string(e), "(a&b&c)");
+}
+
+TEST(Expr, SizeAndDepth) {
+  auto e = Expr::lnot(Expr::land(Expr::var("a"), Expr::var("b")));
+  EXPECT_EQ(e->size(), 4u);
+  EXPECT_EQ(e->depth(), 3u);
+}
+
+TEST(Expr, TruthTableXor) {
+  auto e = Expr::lxor(Expr::var("a"), Expr::var("b"));
+  const auto tt = truth_table(e);
+  ASSERT_EQ(tt.size(), 4u);
+  // bit j of row index corresponds to sorted support var j ("a" then "b").
+  EXPECT_FALSE(tt[0]);  // a=0 b=0
+  EXPECT_TRUE(tt[1]);   // a=1 b=0
+  EXPECT_TRUE(tt[2]);   // a=0 b=1
+  EXPECT_FALSE(tt[3]);  // a=1 b=1
+}
+
+TEST(Expr, SemanticEqualityDeMorgan) {
+  auto a = Expr::var("a");
+  auto b = Expr::var("b");
+  auto lhs = Expr::lnot(Expr::land(a, b));
+  auto rhs = Expr::lor(Expr::lnot(a), Expr::lnot(b));
+  EXPECT_TRUE(semantically_equal(lhs, rhs));
+}
+
+TEST(Expr, SemanticInequalityAndVsOr) {
+  auto a = Expr::var("a");
+  auto b = Expr::var("b");
+  EXPECT_FALSE(semantically_equal(Expr::land(a, b), Expr::lor(a, b)));
+}
+
+TEST(Expr, SemanticEqualityDifferentSupportNames) {
+  // x and y are different functions even though each is a single variable.
+  EXPECT_FALSE(semantically_equal(Expr::var("x"), Expr::var("y")));
+  EXPECT_TRUE(semantically_equal(Expr::var("x"), Expr::var("x")));
+}
+
+TEST(Expr, SemanticEqualityLargeSupportSampled) {
+  // 16 variables: exceeds the exact truth-table limit, exercises sampling.
+  std::vector<ExprPtr> vars;
+  for (int i = 0; i < 16; ++i) vars.push_back(Expr::var("v" + std::to_string(i)));
+  auto lhs = Expr::lnot(Expr::land(vars));
+  std::vector<ExprPtr> negs;
+  for (const auto& v : vars) negs.push_back(Expr::lnot(v));
+  auto rhs = Expr::lor(negs);
+  EXPECT_TRUE(semantically_equal(lhs, rhs));
+  EXPECT_FALSE(semantically_equal(lhs, Expr::land(vars)));
+}
+
+TEST(ExprParser, RoundTrip) {
+  const char* cases[] = {
+      "a", "!a", "(a&b)", "(a|b|c)", "(a^b)", "!((R1^R2)|!R2)",
+      "((a&b)|(c&d))", "!!a", "(a&(b|c))", "0", "1", "(x[3]&y[0])",
+  };
+  for (const char* text : cases) {
+    auto e = parse_expr(text);
+    EXPECT_EQ(to_string(e), text) << text;
+  }
+}
+
+TEST(ExprParser, Precedence) {
+  // '|' lowest, then '^', then '&', then '!'.
+  auto e = parse_expr("a|b^c&!d");
+  // Equivalent explicit form:
+  auto expected = parse_expr("(a|(b^(c&!d)))");
+  EXPECT_TRUE(semantically_equal(e, expected));
+}
+
+TEST(ExprParser, Whitespace) {
+  auto e = parse_expr("  ( a & b ) | ! c ");
+  EXPECT_TRUE(semantically_equal(e, parse_expr("(a&b)|!c")));
+}
+
+TEST(ExprParser, MalformedThrows) {
+  EXPECT_THROW(parse_expr(""), std::invalid_argument);
+  EXPECT_THROW(parse_expr("(a&b"), std::invalid_argument);
+  EXPECT_THROW(parse_expr("a&&b"), std::invalid_argument);
+  EXPECT_THROW(parse_expr("a b"), std::invalid_argument);
+  EXPECT_THROW(parse_expr("&a"), std::invalid_argument);
+}
+
+TEST(Expr, SignatureStableAcrossCalls) {
+  auto e = parse_expr("!((R1^R2)|!R2)");
+  EXPECT_EQ(semantic_signature(e), semantic_signature(parse_expr("!((R1^R2)|!R2)")));
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,294 @@
+// Unit tests for the netlist graph, cell library, simulation, k-hop
+// expression extraction, and file I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "expr/expr.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/io.hpp"
+#include "netlist/netlist.hpp"
+#include "rtlgen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+namespace {
+
+// Small reference netlist: the paper's Fig. 3 flavour.
+//   U1 = XOR2(R1, R2); U2 = INV(R2); U3 = NOR2(U1, U2)
+Netlist paper_example() {
+  Netlist nl("fig3");
+  const GateId r1 = nl.add_port("R1");
+  const GateId r2 = nl.add_port("R2");
+  const GateId u1 = nl.add_gate(CellType::kXor2, "U1", {r1, r2});
+  const GateId u2 = nl.add_gate(CellType::kInv, "U2", {r2});
+  const GateId u3 = nl.add_gate(CellType::kNor2, "U3", {u1, u2});
+  nl.mark_output(u3);
+  return nl;
+}
+
+TEST(CellLibrary, ArityMatchesEnum) {
+  EXPECT_EQ(cell_info(CellType::kInv).num_inputs, 1);
+  EXPECT_EQ(cell_info(CellType::kNand3).num_inputs, 3);
+  EXPECT_EQ(cell_info(CellType::kAoi22).num_inputs, 4);
+  EXPECT_EQ(cell_info(CellType::kMux2).num_inputs, 3);
+  EXPECT_EQ(cell_info(CellType::kDff).num_inputs, 1);
+  EXPECT_EQ(cell_info(CellType::kPort).num_inputs, 0);
+}
+
+TEST(CellLibrary, NameRoundTrip) {
+  for (const CellInfo& c : all_cells()) {
+    EXPECT_EQ(cell_type_from_name(c.name), c.type);
+  }
+  EXPECT_EQ(cell_type_from_name("nand2"), CellType::kNand2);  // case-insensitive
+  EXPECT_THROW(cell_type_from_name("FOO42"), std::invalid_argument);
+}
+
+TEST(CellLibrary, OnlyDffSequential) {
+  for (const CellInfo& c : all_cells()) {
+    EXPECT_EQ(c.sequential, c.type == CellType::kDff) << c.name;
+  }
+}
+
+TEST(CellLibrary, GateClassBijection) {
+  int count = 0;
+  for (const CellInfo& c : all_cells()) {
+    const int cls = gate_class_of(c.type);
+    if (cls >= 0) {
+      EXPECT_EQ(gate_class_to_type(cls), c.type);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, num_gate_classes());
+  EXPECT_EQ(gate_class_of(CellType::kPort), -1);
+  EXPECT_EQ(gate_class_of(CellType::kDff), -1);
+}
+
+// cell_eval must agree with cell_function on every input combination, for
+// every cell: the simulator fast path and the symbolic path are the same
+// function. Parameterized property test over the library.
+class CellSemantics : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(CellSemantics, EvalMatchesFunction) {
+  const CellType type = GetParam();
+  const int arity = cell_info(type).num_inputs;
+  std::vector<ExprPtr> vars;
+  for (int i = 0; i < arity; ++i) vars.push_back(Expr::var("i" + std::to_string(i)));
+  const ExprPtr fn = cell_function(type, vars);
+  for (int mask = 0; mask < (1 << arity); ++mask) {
+    std::vector<bool> bits(arity);
+    Assignment asg;
+    for (int j = 0; j < arity; ++j) {
+      bits[static_cast<std::size_t>(j)] = (mask >> j) & 1;
+      asg["i" + std::to_string(j)] = bits[static_cast<std::size_t>(j)];
+    }
+    EXPECT_EQ(cell_eval(type, bits), eval(fn, asg))
+        << cell_info(type).name << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLogicCells, CellSemantics, ::testing::ValuesIn([] {
+      std::vector<CellType> types;
+      for (const CellInfo& c : all_cells()) {
+        if (c.type != CellType::kPort) types.push_back(c.type);
+      }
+      return types;
+    }()),
+    [](const ::testing::TestParamInfo<CellType>& info) {
+      return cell_info(info.param).name;
+    });
+
+TEST(Netlist, AddAndLookup) {
+  Netlist nl = paper_example();
+  EXPECT_EQ(nl.size(), 5u);
+  EXPECT_EQ(nl.find("U3"), 4);
+  EXPECT_EQ(nl.find("nope"), kNoGate);
+  EXPECT_EQ(nl.gate(nl.find("U1")).type, CellType::kXor2);
+}
+
+TEST(Netlist, ArityEnforced) {
+  Netlist nl;
+  const GateId a = nl.add_port("a");
+  EXPECT_THROW(nl.add_gate(CellType::kAnd2, "g", {a}), std::invalid_argument);
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.add_port("a");
+  EXPECT_THROW(nl.add_port("a"), std::invalid_argument);
+}
+
+TEST(Netlist, FanoutsMaintained) {
+  Netlist nl = paper_example();
+  const GateId r2 = nl.find("R2");
+  // R2 drives U1 and U2.
+  EXPECT_EQ(nl.gate(r2).fanouts.size(), 2u);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl = paper_example();
+  const auto order = nl.topo_order();
+  std::vector<int> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  for (const Gate& g : nl.gates()) {
+    if (g.type == CellType::kDff) continue;
+    for (GateId f : g.fanins) {
+      EXPECT_LT(pos[static_cast<std::size_t>(f)], pos[static_cast<std::size_t>(g.id)]);
+    }
+  }
+}
+
+TEST(Netlist, SequentialLoopIsLegal) {
+  // DFF feedback (a counter bit) must not be reported as a cycle.
+  Netlist nl("loop");
+  const GateId tmp = nl.add_port("tmp");
+  const GateId q = nl.add_gate(CellType::kDff, "q", {tmp});
+  const GateId inv = nl.add_gate(CellType::kInv, "nq", {q});
+  nl.replace_fanin(q, tmp, inv);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, ReplaceFaninRewiresFanouts) {
+  Netlist nl = paper_example();
+  const GateId r1 = nl.find("R1");
+  const GateId r2 = nl.find("R2");
+  const GateId u1 = nl.find("U1");
+  nl.replace_fanin(u1, r1, r2);
+  EXPECT_TRUE(nl.gate(r1).fanouts.empty());
+  EXPECT_EQ(nl.gate(u1).fanins[0], r2);
+  nl.validate();
+}
+
+TEST(Netlist, StatsCountCorrectly) {
+  Netlist nl = paper_example();
+  const NetlistStats s = nl.stats();
+  EXPECT_EQ(s.num_gates, 5u);
+  EXPECT_EQ(s.num_ports, 2u);
+  EXPECT_EQ(s.num_logic, 3u);
+  EXPECT_EQ(s.num_registers, 0u);
+  EXPECT_GT(s.total_area, 0.0);
+}
+
+TEST(Netlist, KhopExpressionPaperExample) {
+  // Paper Fig. 3(b): U3's 2-hop expression is !((R1^R2)|!R2).
+  Netlist nl = paper_example();
+  const ExprPtr e = khop_expression(nl, nl.find("U3"), 2);
+  EXPECT_EQ(to_string(e), "!((R1^R2)|!R2)");
+}
+
+TEST(Netlist, KhopZeroReturnsSelfVar) {
+  Netlist nl = paper_example();
+  const ExprPtr e = khop_expression(nl, nl.find("U3"), 0);
+  EXPECT_EQ(to_string(e), "U3");
+}
+
+TEST(Netlist, KhopOneStopsAtImmediateFanin) {
+  Netlist nl = paper_example();
+  const ExprPtr e = khop_expression(nl, nl.find("U3"), 1);
+  EXPECT_EQ(to_string(e), "!(U1|U2)");
+}
+
+TEST(Netlist, KhopStopsAtRegisters) {
+  Netlist nl("seq");
+  const GateId a = nl.add_port("a");
+  const GateId d = nl.add_gate(CellType::kInv, "d", {a});
+  const GateId q = nl.add_gate(CellType::kDff, "q", {d});
+  const GateId out = nl.add_gate(CellType::kInv, "o", {q});
+  EXPECT_EQ(to_string(khop_expression(nl, out, 5)), "!q");
+}
+
+TEST(Netlist, SimulateMatchesKhopExpression) {
+  Netlist nl = paper_example();
+  const ExprPtr e = khop_expression(nl, nl.find("U3"), 2);
+  for (int mask = 0; mask < 4; ++mask) {
+    std::vector<bool> sources(nl.size(), false);
+    sources[static_cast<std::size_t>(nl.find("R1"))] = mask & 1;
+    sources[static_cast<std::size_t>(nl.find("R2"))] = mask & 2;
+    const auto values = simulate(nl, sources);
+    Assignment asg{{"R1", static_cast<bool>(mask & 1)},
+                   {"R2", static_cast<bool>(mask & 2)}};
+    EXPECT_EQ(values[static_cast<std::size_t>(nl.find("U3"))], eval(e, asg));
+  }
+}
+
+TEST(NetlistIo, RoundTrip) {
+  Netlist nl = paper_example();
+  nl.set_source("itc99");
+  nl.gate(nl.find("U1")).rtl_block = "add";
+  const std::string text = netlist_to_string(nl);
+  const Netlist back = netlist_from_string(text);
+  EXPECT_EQ(back.name(), "fig3");
+  EXPECT_EQ(back.source(), "itc99");
+  EXPECT_EQ(back.size(), nl.size());
+  EXPECT_EQ(back.gate(back.find("U1")).rtl_block, "add");
+  EXPECT_EQ(back.gate(back.find("U3")).type, CellType::kNor2);
+  EXPECT_TRUE(back.gate(back.find("U3")).is_primary_output);
+  // Semantics preserved: same 2-hop expression.
+  EXPECT_EQ(to_string(khop_expression(back, back.find("U3"), 2)),
+            "!((R1^R2)|!R2)");
+}
+
+TEST(NetlistIo, StateFlagRoundTrip) {
+  Netlist nl("seq");
+  const GateId a = nl.add_port("a");
+  const GateId q = nl.add_gate(CellType::kDff, "q", {a});
+  nl.gate(q).is_state_reg = true;
+  const Netlist back = netlist_from_string(netlist_to_string(nl));
+  EXPECT_TRUE(back.gate(back.find("q")).is_state_reg);
+}
+
+TEST(NetlistIo, SequentialFeedbackRoundTrip) {
+  // Registers fed by later-defined logic (feedback) must survive the
+  // write/read cycle — this is the regression for a real writer bug where
+  // topological emission put DFFs before their drivers.
+  Netlist nl("fb");
+  const GateId tmp = nl.add_port("in");
+  const GateId q = nl.add_gate(CellType::kDff, "q", {tmp});
+  nl.gate(q).is_state_reg = true;
+  const GateId inv = nl.add_gate(CellType::kInv, "ninv", {q});
+  const GateId x = nl.add_gate(CellType::kXor2, "x", {inv, tmp});
+  nl.replace_fanin(q, tmp, x);  // feedback: q.D = xor(!q, in)
+  nl.mark_output(x);
+  nl.validate();
+  const Netlist back = netlist_from_string(netlist_to_string(nl));
+  back.validate();
+  EXPECT_EQ(back.size(), nl.size());
+  EXPECT_TRUE(back.gate(back.find("q")).is_state_reg);
+  EXPECT_EQ(back.gate(back.find("q")).fanins[0], back.find("x"));
+  // Same next-state function.
+  EXPECT_TRUE(semantically_equal(
+      khop_expression(nl, nl.gate(nl.find("q")).fanins[0], 8),
+      khop_expression(back, back.gate(back.find("q")).fanins[0], 8)));
+}
+
+TEST(NetlistIo, GeneratedDesignRoundTrip) {
+  Rng rng(77);
+  // Every family's designs must round-trip through the text format.
+  for (const FamilyProfile& prof : benchmark_families()) {
+    const Netlist nl = generate_design(prof, rng, prof.name + "_io").netlist;
+    const Netlist back = netlist_from_string(netlist_to_string(nl));
+    back.validate();
+    EXPECT_EQ(back.size(), nl.size());
+    EXPECT_EQ(back.registers().size(), nl.registers().size());
+    EXPECT_EQ(back.outputs().size(), nl.outputs().size());
+  }
+}
+
+TEST(NetlistIo, UndrivenRegisterRejected) {
+  EXPECT_THROW(netlist_from_string("module m\nreg r\nendmodule\n"),
+               std::runtime_error);
+}
+
+TEST(NetlistIo, MalformedInputs) {
+  EXPECT_THROW(netlist_from_string("gate INV x y\n"), std::runtime_error);
+  EXPECT_THROW(netlist_from_string("module m\n"), std::runtime_error);  // no end
+  EXPECT_THROW(netlist_from_string("module m\ngate INV g nope\nendmodule\n"),
+               std::runtime_error);
+  EXPECT_THROW(netlist_from_string("module m\nport a\ngate FOO g a\nendmodule\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nettag

@@ -1,0 +1,138 @@
+// Cross-validation of the analytic activity propagation against Monte-Carlo
+// simulation, plus tokenizer robustness fuzzing.
+//
+// The independence assumption behind run_power() is *exact* on fanout-free
+// (tree) circuits, so on a tree the analytic probabilities and transition
+// densities must match a two-sample Monte-Carlo estimate within sampling
+// error. On reconvergent circuits it is an approximation — we only check
+// boundedness there.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "expr/tokenizer.hpp"
+#include "physical/analysis.hpp"
+#include "rtlgen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+namespace {
+
+/// Builds a fanout-free tree circuit: each gate's output feeds exactly one
+/// sink. Returns the netlist; every PORT/DFF is a source.
+Netlist tree_circuit() {
+  Netlist nl("tree");
+  std::vector<GateId> leaves;
+  for (int i = 0; i < 8; ++i) leaves.push_back(nl.add_port("p" + std::to_string(i)));
+  const GateId a = nl.add_gate(CellType::kAnd2, "a", {leaves[0], leaves[1]});
+  const GateId b = nl.add_gate(CellType::kOr2, "b", {leaves[2], leaves[3]});
+  const GateId c = nl.add_gate(CellType::kXor2, "c", {leaves[4], leaves[5]});
+  const GateId d = nl.add_gate(CellType::kNand2, "d", {leaves[6], leaves[7]});
+  const GateId e = nl.add_gate(CellType::kMux2, "e", {a, b, c});
+  const GateId f = nl.add_gate(CellType::kNor2, "f", {e, d});
+  nl.mark_output(f);
+  return nl;
+}
+
+TEST(PowerValidation, AnalyticMatchesMonteCarloOnTree) {
+  const Netlist nl = tree_circuit();
+  Parasitics para;
+  para.nets.resize(nl.size());
+  const double p_in = 0.5, act_in = 0.3;
+  const PowerReport analytic = run_power(nl, para, act_in, p_in);
+
+  // Monte-Carlo: sample consecutive input pairs; count per-gate ones and
+  // toggles. Consecutive inputs share a bit with prob (1 - act_in) per the
+  // transition-density model.
+  Rng rng(99);
+  const int kSamples = 40000;
+  std::vector<int> ones(nl.size(), 0), toggles(nl.size(), 0);
+  for (int s = 0; s < kSamples; ++s) {
+    std::vector<bool> x0(nl.size(), false), x1(nl.size(), false);
+    for (const Gate& g : nl.gates()) {
+      if (g.type != CellType::kPort) continue;
+      const bool v0 = rng.chance(p_in);
+      x0[static_cast<std::size_t>(g.id)] = v0;
+      x1[static_cast<std::size_t>(g.id)] = rng.chance(act_in) ? !v0 : v0;
+    }
+    const auto v0 = simulate(nl, x0);
+    const auto v1 = simulate(nl, x1);
+    for (std::size_t i = 0; i < nl.size(); ++i) {
+      ones[i] += v0[i];
+      toggles[i] += v0[i] != v1[i];
+    }
+  }
+  for (const Gate& g : nl.gates()) {
+    if (g.type == CellType::kPort) continue;
+    const std::size_t i = static_cast<std::size_t>(g.id);
+    const double mc_prob = static_cast<double>(ones[i]) / kSamples;
+    const double mc_toggle = static_cast<double>(toggles[i]) / kSamples;
+    EXPECT_NEAR(analytic.prob[i], mc_prob, 0.02) << g.name;
+    EXPECT_NEAR(analytic.toggle[i], mc_toggle, 0.03) << g.name;
+  }
+}
+
+TEST(PowerValidation, ReconvergentCircuitStaysBounded) {
+  Rng rng(7);
+  const Netlist nl =
+      generate_design(family_profile("itc99"), rng, "pwr_bound").netlist;
+  Parasitics para;
+  para.nets.resize(nl.size());
+  const PowerReport rep = run_power(nl, para);
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    EXPECT_GE(rep.prob[i], 0.0);
+    EXPECT_LE(rep.prob[i], 1.0);
+    EXPECT_GE(rep.toggle[i], 0.0);
+    EXPECT_LE(rep.toggle[i], 1.0);
+  }
+}
+
+TEST(PowerValidation, ConstNetsNeverToggle) {
+  Netlist nl("c");
+  const GateId one = nl.add_gate(CellType::kConst1, "one", {});
+  const GateId a = nl.add_port("a");
+  const GateId g = nl.add_gate(CellType::kAnd2, "g", {one, a});
+  (void)g;
+  Parasitics para;
+  para.nets.resize(nl.size());
+  const PowerReport rep = run_power(nl, para, 0.4, 0.5);
+  EXPECT_DOUBLE_EQ(rep.toggle[static_cast<std::size_t>(one)], 0.0);
+  // AND with constant-1: output follows `a` exactly.
+  EXPECT_NEAR(rep.toggle[static_cast<std::size_t>(nl.find("g"))], 0.4, 1e-9);
+  EXPECT_NEAR(rep.prob[static_cast<std::size_t>(nl.find("g"))], 0.5, 1e-9);
+}
+
+TEST(TokenizerFuzz, ArbitraryBytesNeverCrash) {
+  Rng rng(5);
+  Vocab vocab;
+  for (int t = 0; t < 200; ++t) {
+    std::string s;
+    const int len = rng.uniform_int(0, 60);
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+    }
+    const auto toks = tokenize_text(s);
+    const auto ids = encode_text(vocab, s, 32);
+    EXPECT_LE(ids.size(), 32u);
+    for (int id : ids) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, vocab.size());
+    }
+    (void)toks;
+  }
+}
+
+TEST(TokenizerFuzz, ManyDistinctIdentifiersWrapSlots) {
+  // More identifiers than anonymization slots must wrap, not crash.
+  std::string s;
+  for (int i = 0; i < Vocab::kMaxVars * 2; ++i) {
+    s += "ident" + std::to_string(i) + " ";
+  }
+  const auto toks = tokenize_text(s);
+  EXPECT_EQ(toks.size(), static_cast<std::size_t>(Vocab::kMaxVars) * 2);
+  EXPECT_EQ(toks.front(), "v0");
+  EXPECT_EQ(toks[static_cast<std::size_t>(Vocab::kMaxVars)], "v0");  // wrapped
+}
+
+}  // namespace
+}  // namespace nettag

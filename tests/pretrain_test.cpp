@@ -1,0 +1,141 @@
+// Tests for the pre-training objectives: losses decrease, ablation switches
+// work, and the expression encoder actually learns equivalence structure.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pretrain.hpp"
+#include "expr/transform.hpp"
+
+namespace nettag {
+namespace {
+
+Corpus tiny_corpus(std::uint64_t seed = 23, bool physical = true) {
+  Rng rng(seed);
+  CorpusOptions co;
+  co.designs_per_family = 1;
+  co.with_physical = physical;
+  return build_corpus(co, rng);
+}
+
+PretrainOptions fast_options() {
+  PretrainOptions po;
+  po.expr_steps = 25;
+  po.tag_steps = 20;
+  po.aux_steps = 8;
+  po.max_expressions = 300;
+  po.max_cones = 30;
+  return po;
+}
+
+TEST(Pretrain, LossesDecrease) {
+  Rng rng(1);
+  Corpus corpus = tiny_corpus();
+  NetTag model(NetTagConfig{}, 7);
+  const PretrainReport rep = pretrain(model, corpus, fast_options(), rng);
+  EXPECT_GT(rep.expr_dataset_size, 0u);
+  EXPECT_GT(rep.cones_used, 0u);
+  EXPECT_LT(rep.expr_loss_last, rep.expr_loss_first);
+  EXPECT_LT(rep.tag_loss_last, rep.tag_loss_first);
+}
+
+TEST(Pretrain, ExprEncoderLearnsEquivalence) {
+  // After step 1, an expression should be closer (cosine) to its
+  // equivalence-transformed version than to an unrelated expression.
+  Rng rng(2);
+  Corpus corpus = tiny_corpus(29, /*physical=*/false);
+  NetTag model(NetTagConfig{}, 7);
+  PretrainOptions po = fast_options();
+  po.expr_steps = 120;
+  po.tag_steps = 0;
+  po.objective_align = false;
+  pretrain(model, corpus, po, rng);
+
+  auto cosine = [](const Mat& a, const Mat& b) {
+    double dot = 0, na = 0, nb = 0;
+    for (int j = 0; j < a.cols; ++j) {
+      dot += a.at(0, j) * b.at(0, j);
+      na += a.at(0, j) * a.at(0, j);
+      nb += b.at(0, j) * b.at(0, j);
+    }
+    return dot / std::sqrt(na * nb + 1e-12);
+  };
+  Rng trng(3);
+  int wins = 0;
+  const int trials = 20;
+  const auto exprs = collect_expressions(corpus, 2, 100);
+  ASSERT_GE(exprs.size(), 2u);
+  for (int t = 0; t < trials; ++t) {
+    const std::string& e = exprs[trng.index(exprs.size())];
+    const std::string pos =
+        to_string(random_equivalent(parse_expr(e), trng, 3));
+    const std::string& neg = exprs[trng.index(exprs.size())];
+    const Mat me = model.expr_llm().encode(e)->value;
+    const Mat mp = model.expr_llm().encode(pos)->value;
+    const Mat mn = model.expr_llm().encode(neg)->value;
+    if (cosine(me, mp) >= cosine(me, mn)) ++wins;
+  }
+  EXPECT_GE(wins, trials * 3 / 5);
+}
+
+TEST(Pretrain, AblationFlagsRespected) {
+  // With every objective off, step 2 performs no updates (loss stays 0).
+  Rng rng(4);
+  Corpus corpus = tiny_corpus();
+  NetTag model(NetTagConfig{}, 7);
+  PretrainOptions po = fast_options();
+  po.objective_expr_cl = false;
+  po.objective_mask = false;
+  po.objective_graph_cl = false;
+  po.objective_size = false;
+  po.objective_align = false;
+  const PretrainReport rep = pretrain(model, corpus, po, rng);
+  EXPECT_EQ(rep.expr_dataset_size, 0u);
+  EXPECT_FLOAT_EQ(rep.tag_loss_first, 0.f);
+  EXPECT_FLOAT_EQ(rep.tag_loss_last, 0.f);
+}
+
+TEST(Pretrain, SingleObjectiveArmsRun) {
+  // Each objective must be able to carry step 2 alone.
+  Corpus corpus = tiny_corpus();
+  for (int arm = 0; arm < 4; ++arm) {
+    Rng rng(5 + static_cast<std::uint64_t>(arm));
+    NetTag model(NetTagConfig{}, 7);
+    PretrainOptions po = fast_options();
+    po.objective_mask = arm == 0;
+    po.objective_graph_cl = arm == 1;
+    po.objective_size = arm == 2;
+    po.objective_align = arm == 3;
+    const PretrainReport rep = pretrain(model, corpus, po, rng);
+    EXPECT_GT(rep.tag_loss_first, 0.f) << "arm " << arm;
+  }
+}
+
+TEST(Pretrain, WithoutTextAblationRuns) {
+  Rng rng(9);
+  Corpus corpus = tiny_corpus();
+  NetTagConfig cfg;
+  cfg.use_text_attributes = false;
+  NetTag model(cfg, 7);
+  const PretrainReport rep = pretrain(model, corpus, fast_options(), rng);
+  // No text attributes -> step 1 skipped entirely.
+  EXPECT_EQ(rep.expr_dataset_size, 0u);
+  EXPECT_GT(rep.cones_used, 0u);
+}
+
+TEST(Pretrain, TrainingChangesEmbeddings) {
+  Rng rng(10);
+  Corpus corpus = tiny_corpus();
+  NetTag model(NetTagConfig{}, 7);
+  const Netlist& cone = corpus.designs[0].cones[0].cone;
+  const Mat before = model.embed(cone).cls;
+  pretrain(model, corpus, fast_options(), rng);
+  model.clear_text_cache();
+  const Mat after = model.embed(cone).cls;
+  double diff = 0;
+  for (int j = 0; j < before.cols; ++j) diff += std::abs(before.at(0, j) - after.at(0, j));
+  EXPECT_GT(diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace nettag

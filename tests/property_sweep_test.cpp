@@ -1,0 +1,191 @@
+// Cross-family property sweeps (parameterized over benchmark family x seed):
+// end-to-end invariants that must hold for every generated design —
+// functional equivalence through every optimization pass, cone transition-
+// function preservation, STA/power/area monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/aig.hpp"
+#include "netlist/cone.hpp"
+#include "physical/flow.hpp"
+#include "rtlgen/generator.hpp"
+#include "rtlgen/optimize.hpp"
+
+namespace nettag {
+namespace {
+
+struct SweepParam {
+  std::string family;
+  std::uint64_t seed;
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) {
+  *os << p.family << "_s" << p.seed;
+}
+
+class DesignSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam().seed);
+    design_ = generate_design(family_profile(GetParam().family), rng,
+                              GetParam().family + "_sweep");
+  }
+
+  /// Checks that `a` and `b` compute identical register D-inputs and primary
+  /// outputs over random source assignments.
+  void expect_equivalent(const Netlist& a, const Netlist& b, int trials = 8) {
+    Rng rng(GetParam().seed ^ 0x5151);
+    for (int t = 0; t < trials; ++t) {
+      std::vector<bool> sa(a.size(), false), sb(b.size(), false);
+      for (const Gate& g : a.gates()) {
+        if (g.type != CellType::kPort && g.type != CellType::kDff) continue;
+        const GateId other = b.find(g.name);
+        ASSERT_NE(other, kNoGate) << g.name;
+        const bool v = rng.chance(0.5);
+        sa[static_cast<std::size_t>(g.id)] = v;
+        sb[static_cast<std::size_t>(other)] = v;
+      }
+      const auto va = simulate(a, sa);
+      const auto vb = simulate(b, sb);
+      for (const Gate& g : a.gates()) {
+        if (g.type != CellType::kDff) continue;
+        const GateId other = b.find(g.name);
+        ASSERT_EQ(va[static_cast<std::size_t>(g.fanins[0])],
+                  vb[static_cast<std::size_t>(b.gate(other).fanins[0])])
+            << "register " << g.name;
+      }
+    }
+  }
+
+  GeneratedDesign design_;
+};
+
+TEST_P(DesignSweep, GeneratedDesignValid) {
+  design_.netlist.validate();
+  EXPECT_GT(design_.netlist.registers().size(), 0u);
+}
+
+TEST_P(DesignSweep, CleanupPreservesFunction) {
+  const Netlist cleaned = cleanup(design_.netlist);
+  cleaned.validate();
+  EXPECT_LE(cleaned.size(), design_.netlist.size());
+  expect_equivalent(design_.netlist, cleaned);
+}
+
+TEST_P(DesignSweep, CleanupIsIdempotentOnSize) {
+  const Netlist once = cleanup(design_.netlist);
+  const Netlist twice = cleanup(once);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST_P(DesignSweep, RewritePlusCleanupPreservesFunction) {
+  Rng rng(GetParam().seed + 1);
+  const Netlist rewritten = cleanup(logic_rewrite(design_.netlist, rng, 0.5));
+  rewritten.validate();
+  expect_equivalent(design_.netlist, rewritten);
+}
+
+TEST_P(DesignSweep, BufferInsertionPreservesFunction) {
+  const Netlist buffered = insert_buffers(design_.netlist, 3);
+  buffered.validate();
+  expect_equivalent(design_.netlist, buffered);
+}
+
+TEST_P(DesignSweep, ConesPreserveTransitionFunctions) {
+  const auto cones = extract_register_cones(design_.netlist, 0);
+  ASSERT_EQ(cones.size(), design_.netlist.registers().size());
+  for (const RegisterCone& rc : cones) {
+    rc.cone.validate();
+    // Spot-check the transition function on random assignments via the
+    // to_parent mapping.
+    Rng rng(GetParam().seed + 2);
+    for (int t = 0; t < 4; ++t) {
+      std::vector<bool> parent_src(design_.netlist.size(), false);
+      std::vector<bool> cone_src(rc.cone.size(), false);
+      for (const Gate& g : design_.netlist.gates()) {
+        if (g.type == CellType::kPort || g.type == CellType::kDff) {
+          parent_src[static_cast<std::size_t>(g.id)] = rng.chance(0.5);
+        }
+      }
+      for (const Gate& g : rc.cone.gates()) {
+        if (g.type == CellType::kPort || g.type == CellType::kDff) {
+          cone_src[static_cast<std::size_t>(g.id)] =
+              parent_src[static_cast<std::size_t>(rc.to_parent.at(g.id))];
+        }
+      }
+      const auto vp = simulate(design_.netlist, parent_src);
+      const auto vc = simulate(rc.cone, cone_src);
+      const GateId parent_d = design_.netlist.gate(rc.register_id).fanins[0];
+      const GateId cone_d = rc.cone.gate(rc.cone_register).fanins[0];
+      EXPECT_EQ(vp[static_cast<std::size_t>(parent_d)],
+                vc[static_cast<std::size_t>(cone_d)])
+          << design_.netlist.gate(rc.register_id).name;
+    }
+  }
+}
+
+TEST_P(DesignSweep, AigConversionPreservesRegisterInputs) {
+  const AigResult res = to_aig(design_.netlist);
+  res.aig.validate();
+  Rng rng(GetParam().seed + 3);
+  for (int t = 0; t < 4; ++t) {
+    std::vector<bool> so(design_.netlist.size(), false);
+    std::vector<bool> sa(res.aig.size(), false);
+    for (const Gate& g : design_.netlist.gates()) {
+      if (g.type == CellType::kPort || g.type == CellType::kDff) {
+        const bool v = rng.chance(0.5);
+        so[static_cast<std::size_t>(g.id)] = v;
+        sa[static_cast<std::size_t>(res.node_of.at(g.id))] = v;
+      }
+    }
+    const auto vo = simulate(design_.netlist, so);
+    const auto va = simulate(res.aig, sa);
+    for (GateId r : design_.netlist.registers()) {
+      const GateId d = design_.netlist.gate(r).fanins[0];
+      EXPECT_EQ(vo[static_cast<std::size_t>(d)],
+                va[static_cast<std::size_t>(res.node_of.at(d))]);
+    }
+  }
+}
+
+TEST_P(DesignSweep, PhysicalFlowInvariants) {
+  Rng rng(GetParam().seed + 4);
+  const PhysicalResult res =
+      run_physical_flow(design_.netlist, rng, /*optimize=*/false, 0.0, 2);
+  // Area grows monotonically with cell count; power strictly positive;
+  // every endpoint has finite slack below the clock period.
+  EXPECT_GE(res.area.total_area, res.area.cell_area);
+  EXPECT_GT(res.power.dynamic_power, 0.0);
+  EXPECT_GT(res.power.leakage_power, 0.0);
+  for (GateId e : res.timing.endpoints) {
+    const double s = res.timing.slack[static_cast<std::size_t>(e)];
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LT(s, res.timing.clock_period);
+  }
+  // Buffering for legalization can only increase cell area vs raw netlist.
+  EXPECT_GE(res.area.cell_area, run_area(design_.netlist).cell_area - 1e-9);
+}
+
+TEST_P(DesignSweep, SynthesisEstimateTracksScale) {
+  const ToolEstimate est = synthesis_estimate(design_.netlist);
+  EXPECT_GT(est.area, 0.0);
+  EXPECT_GT(est.power, 0.0);
+  // The estimate must scale with the design: strictly larger than any
+  // single cell and below an absurd bound.
+  EXPECT_GT(est.area, cell_info(CellType::kDff).area);
+  EXPECT_LT(est.area, 1e7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, DesignSweep,
+    ::testing::Values(SweepParam{"itc99", 11}, SweepParam{"itc99", 12},
+                      SweepParam{"opencores", 21}, SweepParam{"opencores", 22},
+                      SweepParam{"chipyard", 31}, SweepParam{"vexriscv", 41},
+                      SweepParam{"vexriscv", 42}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return info.param.family + "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace nettag

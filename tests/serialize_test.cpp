@@ -1,0 +1,71 @@
+// Tests for parameter (de)serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+
+namespace nettag {
+namespace {
+
+TEST(Serialize, RoundTripPreservesValues) {
+  Rng rng(1);
+  Mlp a(4, 8, 2, rng);
+  save_params("/tmp/nettag_ser_test.bin", a.params());
+  Mlp b(4, 8, 2, rng);  // different init
+  load_params("/tmp/nettag_ser_test.bin", b.params());
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    ASSERT_EQ(pa[k]->value.v.size(), pb[k]->value.v.size());
+    for (std::size_t i = 0; i < pa[k]->value.v.size(); ++i) {
+      EXPECT_FLOAT_EQ(pa[k]->value.v[i], pb[k]->value.v[i]);
+    }
+  }
+  std::remove("/tmp/nettag_ser_test.bin");
+}
+
+TEST(Serialize, ShapeMismatchRejected) {
+  Rng rng(2);
+  Mlp a(4, 8, 2, rng);
+  save_params("/tmp/nettag_ser_test2.bin", a.params());
+  Mlp wrong(5, 8, 2, rng);
+  EXPECT_THROW(load_params("/tmp/nettag_ser_test2.bin", wrong.params()),
+               std::runtime_error);
+  std::remove("/tmp/nettag_ser_test2.bin");
+}
+
+TEST(Serialize, CountMismatchRejected) {
+  Rng rng(3);
+  Linear a(4, 2, rng);
+  save_params("/tmp/nettag_ser_test3.bin", a.params());
+  Mlp more(4, 8, 2, rng);
+  EXPECT_THROW(load_params("/tmp/nettag_ser_test3.bin", more.params()),
+               std::runtime_error);
+  std::remove("/tmp/nettag_ser_test3.bin");
+}
+
+TEST(Serialize, MissingFileRejected) {
+  Rng rng(4);
+  Linear a(2, 2, rng);
+  EXPECT_THROW(load_params("/tmp/definitely_missing_nettag.bin", a.params()),
+               std::runtime_error);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  Rng rng(5);
+  Linear a(2, 2, rng);
+  FILE* f = std::fopen("/tmp/nettag_ser_bad.bin", "wb");
+  ASSERT_NE(f, nullptr);
+  const char garbage[16] = "not a model";
+  std::fwrite(garbage, 1, sizeof(garbage), f);
+  std::fclose(f);
+  EXPECT_THROW(load_params("/tmp/nettag_ser_bad.bin", a.params()),
+               std::runtime_error);
+  std::remove("/tmp/nettag_ser_bad.bin");
+}
+
+}  // namespace
+}  // namespace nettag

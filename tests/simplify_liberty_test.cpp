@@ -1,0 +1,125 @@
+// Tests for the expression simplifier and the Liberty library dump.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "expr/simplify.hpp"
+#include "expr/transform.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/liberty.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+namespace {
+
+void expect_simplifies(const char* in, const char* expected) {
+  const ExprPtr s = simplify(parse_expr(in));
+  EXPECT_EQ(to_string(s), expected) << "input: " << in;
+}
+
+TEST(Simplify, ConstantFolding) {
+  expect_simplifies("(a&1)", "a");
+  expect_simplifies("(a&0)", "0");
+  expect_simplifies("(a|0)", "a");
+  expect_simplifies("(a|1)", "1");
+  expect_simplifies("(a^0)", "a");
+  expect_simplifies("(a^1)", "!a");
+  expect_simplifies("(1&1)", "1");
+}
+
+TEST(Simplify, DoubleNegation) {
+  expect_simplifies("!!a", "a");
+  expect_simplifies("!!!a", "!a");
+  expect_simplifies("!1", "0");
+  expect_simplifies("!0", "1");
+}
+
+TEST(Simplify, Idempotence) {
+  expect_simplifies("(a&a)", "a");
+  expect_simplifies("(a|a|a)", "a");
+  expect_simplifies("(a&a&b)", "(a&b)");
+}
+
+TEST(Simplify, Complement) {
+  expect_simplifies("(a&!a)", "0");
+  expect_simplifies("(a|!a)", "1");
+  expect_simplifies("(b&a&!a)", "0");
+  expect_simplifies("(a^a)", "0");
+  expect_simplifies("(a^a^b)", "b");
+}
+
+TEST(Simplify, Flattening) {
+  expect_simplifies("(a&(b&c))", "(a&b&c)");
+  expect_simplifies("((a|b)|(c|d))", "(a|b|c|d)");
+}
+
+TEST(Simplify, NestedConstantsCollapse) {
+  expect_simplifies("((a&1)|(b&0))", "a");
+  expect_simplifies("!((a|!a)&b)", "!b");
+}
+
+TEST(Simplify, LeavesIrreducibleAlone) {
+  expect_simplifies("(a&b)", "(a&b)");
+  expect_simplifies("!((R1^R2)|!R2)", "!((R1^R2)|!R2)");
+}
+
+// Property: simplify preserves semantics and never grows the tree, across
+// random expressions with constants and duplicates injected.
+class SimplifyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplifyProperty, SemanticsAndSize) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 3);
+  std::function<ExprPtr(int)> sample = [&](int depth) -> ExprPtr {
+    const double roll = rng.uniform();
+    if (depth == 0 || roll < 0.2) {
+      return Expr::var("x" + std::to_string(rng.uniform_int(0, 3)));
+    }
+    if (roll < 0.3) return Expr::constant(rng.chance(0.5));
+    if (roll < 0.45) return Expr::lnot(sample(depth - 1));
+    ExprPtr a = sample(depth - 1);
+    ExprPtr b = rng.chance(0.3) ? a : sample(depth - 1);  // inject duplicates
+    switch (rng.uniform_int(0, 2)) {
+      case 0: return Expr::land(a, b);
+      case 1: return Expr::lor(a, b);
+      default: return Expr::lxor(a, b);
+    }
+  };
+  for (int t = 0; t < 30; ++t) {
+    const ExprPtr e = sample(4);
+    const ExprPtr s = simplify(e);
+    EXPECT_TRUE(semantically_equal(e, s))
+        << to_string(e) << " -> " << to_string(s);
+    EXPECT_LE(s->size(), e->size());
+    // Simplification is a fixpoint after one extra application.
+    EXPECT_EQ(to_string(simplify(s)), to_string(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyProperty, ::testing::Values(1, 2, 3));
+
+TEST(Liberty, ContainsEveryCell) {
+  const std::string lib = liberty_to_string("nettag45");
+  EXPECT_NE(lib.find("library (nettag45)"), std::string::npos);
+  for (const CellInfo& c : all_cells()) {
+    if (c.type == CellType::kPort) continue;
+    EXPECT_NE(lib.find(std::string("cell (") + c.name + ")"), std::string::npos)
+        << c.name;
+  }
+  // Sequential group only for the DFF.
+  EXPECT_NE(lib.find("ff (IQ, IQN)"), std::string::npos);
+  EXPECT_NE(lib.find("clocked_on"), std::string::npos);
+}
+
+TEST(Liberty, BalancedBraces) {
+  const std::string lib = liberty_to_string("x");
+  int depth = 0;
+  for (char c : lib) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace nettag
