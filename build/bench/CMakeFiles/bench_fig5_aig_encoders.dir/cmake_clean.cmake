@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_aig_encoders.dir/bench_fig5_aig_encoders.cpp.o"
+  "CMakeFiles/bench_fig5_aig_encoders.dir/bench_fig5_aig_encoders.cpp.o.d"
+  "bench_fig5_aig_encoders"
+  "bench_fig5_aig_encoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_aig_encoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arithmetic_reasoning.dir/arithmetic_reasoning.cpp.o"
+  "CMakeFiles/arithmetic_reasoning.dir/arithmetic_reasoning.cpp.o.d"
+  "arithmetic_reasoning"
+  "arithmetic_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arithmetic_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_export.dir/embedding_export.cpp.o"
+  "CMakeFiles/embedding_export.dir/embedding_export.cpp.o.d"
+  "embedding_export"
+  "embedding_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppa_early_estimation.dir/ppa_early_estimation.cpp.o"
+  "CMakeFiles/ppa_early_estimation.dir/ppa_early_estimation.cpp.o.d"
+  "ppa_early_estimation"
+  "ppa_early_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppa_early_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/nettag.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/nettag.cpp" "src/CMakeFiles/nettag.dir/core/nettag.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/core/nettag.cpp.o.d"
+  "/root/repo/src/core/pretrain.cpp" "src/CMakeFiles/nettag.dir/core/pretrain.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/core/pretrain.cpp.o.d"
+  "/root/repo/src/core/tag.cpp" "src/CMakeFiles/nettag.dir/core/tag.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/core/tag.cpp.o.d"
+  "/root/repo/src/expr/bdd.cpp" "src/CMakeFiles/nettag.dir/expr/bdd.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/expr/bdd.cpp.o.d"
+  "/root/repo/src/expr/expr.cpp" "src/CMakeFiles/nettag.dir/expr/expr.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/expr/expr.cpp.o.d"
+  "/root/repo/src/expr/simplify.cpp" "src/CMakeFiles/nettag.dir/expr/simplify.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/expr/simplify.cpp.o.d"
+  "/root/repo/src/expr/tokenizer.cpp" "src/CMakeFiles/nettag.dir/expr/tokenizer.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/expr/tokenizer.cpp.o.d"
+  "/root/repo/src/expr/transform.cpp" "src/CMakeFiles/nettag.dir/expr/transform.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/expr/transform.cpp.o.d"
+  "/root/repo/src/model/gcn.cpp" "src/CMakeFiles/nettag.dir/model/gcn.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/model/gcn.cpp.o.d"
+  "/root/repo/src/model/graph.cpp" "src/CMakeFiles/nettag.dir/model/graph.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/model/graph.cpp.o.d"
+  "/root/repo/src/model/tagformer.cpp" "src/CMakeFiles/nettag.dir/model/tagformer.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/model/tagformer.cpp.o.d"
+  "/root/repo/src/model/text_encoder.cpp" "src/CMakeFiles/nettag.dir/model/text_encoder.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/model/text_encoder.cpp.o.d"
+  "/root/repo/src/netlist/aig.cpp" "src/CMakeFiles/nettag.dir/netlist/aig.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/aig.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/CMakeFiles/nettag.dir/netlist/cell_library.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/cone.cpp" "src/CMakeFiles/nettag.dir/netlist/cone.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/cone.cpp.o.d"
+  "/root/repo/src/netlist/equiv.cpp" "src/CMakeFiles/nettag.dir/netlist/equiv.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/equiv.cpp.o.d"
+  "/root/repo/src/netlist/expr_synth.cpp" "src/CMakeFiles/nettag.dir/netlist/expr_synth.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/expr_synth.cpp.o.d"
+  "/root/repo/src/netlist/io.cpp" "src/CMakeFiles/nettag.dir/netlist/io.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/io.cpp.o.d"
+  "/root/repo/src/netlist/liberty.cpp" "src/CMakeFiles/nettag.dir/netlist/liberty.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/liberty.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/nettag.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/CMakeFiles/nettag.dir/netlist/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/netlist/verilog_writer.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/nettag.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/nettag.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/nettag.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/physical/analysis.cpp" "src/CMakeFiles/nettag.dir/physical/analysis.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/physical/analysis.cpp.o.d"
+  "/root/repo/src/physical/flow.cpp" "src/CMakeFiles/nettag.dir/physical/flow.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/physical/flow.cpp.o.d"
+  "/root/repo/src/physical/placement.cpp" "src/CMakeFiles/nettag.dir/physical/placement.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/physical/placement.cpp.o.d"
+  "/root/repo/src/physical/spef.cpp" "src/CMakeFiles/nettag.dir/physical/spef.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/physical/spef.cpp.o.d"
+  "/root/repo/src/rtlgen/generator.cpp" "src/CMakeFiles/nettag.dir/rtlgen/generator.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/rtlgen/generator.cpp.o.d"
+  "/root/repo/src/rtlgen/optimize.cpp" "src/CMakeFiles/nettag.dir/rtlgen/optimize.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/rtlgen/optimize.cpp.o.d"
+  "/root/repo/src/rtlgen/synthesizer.cpp" "src/CMakeFiles/nettag.dir/rtlgen/synthesizer.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/rtlgen/synthesizer.cpp.o.d"
+  "/root/repo/src/tasks/aig_encoders.cpp" "src/CMakeFiles/nettag.dir/tasks/aig_encoders.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/aig_encoders.cpp.o.d"
+  "/root/repo/src/tasks/finetune.cpp" "src/CMakeFiles/nettag.dir/tasks/finetune.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/finetune.cpp.o.d"
+  "/root/repo/src/tasks/gbdt.cpp" "src/CMakeFiles/nettag.dir/tasks/gbdt.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/gbdt.cpp.o.d"
+  "/root/repo/src/tasks/labels.cpp" "src/CMakeFiles/nettag.dir/tasks/labels.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/labels.cpp.o.d"
+  "/root/repo/src/tasks/task1.cpp" "src/CMakeFiles/nettag.dir/tasks/task1.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/task1.cpp.o.d"
+  "/root/repo/src/tasks/task2.cpp" "src/CMakeFiles/nettag.dir/tasks/task2.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/task2.cpp.o.d"
+  "/root/repo/src/tasks/task3.cpp" "src/CMakeFiles/nettag.dir/tasks/task3.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/task3.cpp.o.d"
+  "/root/repo/src/tasks/task4.cpp" "src/CMakeFiles/nettag.dir/tasks/task4.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/tasks/task4.cpp.o.d"
+  "/root/repo/src/util/metrics.cpp" "src/CMakeFiles/nettag.dir/util/metrics.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/util/metrics.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/nettag.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/nettag.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/nettag.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/artifacts_test.cpp" "tests/CMakeFiles/nettag_tests.dir/artifacts_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/artifacts_test.cpp.o.d"
+  "/root/repo/tests/bdd_test.cpp" "tests/CMakeFiles/nettag_tests.dir/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/bdd_test.cpp.o.d"
+  "/root/repo/tests/cone_aig_test.cpp" "tests/CMakeFiles/nettag_tests.dir/cone_aig_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/cone_aig_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/nettag_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/equiv_synth_test.cpp" "tests/CMakeFiles/nettag_tests.dir/equiv_synth_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/equiv_synth_test.cpp.o.d"
+  "/root/repo/tests/expr_test.cpp" "tests/CMakeFiles/nettag_tests.dir/expr_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/expr_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/nettag_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/nettag_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/nn_test.cpp" "tests/CMakeFiles/nettag_tests.dir/nn_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/nn_test.cpp.o.d"
+  "/root/repo/tests/physical_test.cpp" "tests/CMakeFiles/nettag_tests.dir/physical_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/physical_test.cpp.o.d"
+  "/root/repo/tests/power_validation_test.cpp" "tests/CMakeFiles/nettag_tests.dir/power_validation_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/power_validation_test.cpp.o.d"
+  "/root/repo/tests/pretrain_test.cpp" "tests/CMakeFiles/nettag_tests.dir/pretrain_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/pretrain_test.cpp.o.d"
+  "/root/repo/tests/property_sweep_test.cpp" "tests/CMakeFiles/nettag_tests.dir/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/rtlgen_test.cpp" "tests/CMakeFiles/nettag_tests.dir/rtlgen_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/rtlgen_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/nettag_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/simplify_liberty_test.cpp" "tests/CMakeFiles/nettag_tests.dir/simplify_liberty_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/simplify_liberty_test.cpp.o.d"
+  "/root/repo/tests/tasks_test.cpp" "tests/CMakeFiles/nettag_tests.dir/tasks_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/tasks_test.cpp.o.d"
+  "/root/repo/tests/tokenizer_metrics_test.cpp" "tests/CMakeFiles/nettag_tests.dir/tokenizer_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/tokenizer_metrics_test.cpp.o.d"
+  "/root/repo/tests/transform_test.cpp" "tests/CMakeFiles/nettag_tests.dir/transform_test.cpp.o" "gcc" "tests/CMakeFiles/nettag_tests.dir/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nettag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
