@@ -7,6 +7,7 @@
 #include "model/graph.hpp"
 #include "netlist/cone.hpp"
 #include "nn/serialize.hpp"
+#include "util/parallel.hpp"
 
 namespace nettag {
 
@@ -39,11 +40,17 @@ std::vector<float> NetTag::cached_text_embedding(const std::string& attr) {
     key.push_back(static_cast<char>(id & 0xff));
     key.push_back(static_cast<char>((id >> 8) & 0xff));
   }
-  auto it = text_cache_.find(key);
-  if (it != text_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lk(text_cache_mu_);
+    auto it = text_cache_.find(key);
+    if (it != text_cache_.end()) return it->second;
+  }
   const Tensor emb = expr_llm_->encode_ids(ids);
   std::vector<float> row = emb->value.v;
-  text_cache_.emplace(std::move(key), row);
+  {
+    std::lock_guard<std::mutex> lk(text_cache_mu_);
+    text_cache_.emplace(std::move(key), row);
+  }
   return row;
 }
 
@@ -137,10 +144,15 @@ Mat NetTag::embed_circuit(const Netlist& nl, std::size_t max_cone_gates) {
   if (regs.empty()) {
     return embed(nl).cls;
   }
+  // Embed cones in parallel; reduce in register order so the float-addition
+  // sequence (and therefore the result) matches the serial loop bit-for-bit.
+  std::vector<Mat> cone_cls(regs.size());
+  ThreadPool::instance().run_indexed(regs.size(), [&](std::size_t i) {
+    const RegisterCone rc = extract_cone(nl, regs[i], max_cone_gates);
+    cone_cls[i] = embed(rc.cone).cls;
+  });
   Mat sum(1, config_.out_dim);
-  for (GateId r : regs) {
-    const RegisterCone rc = extract_cone(nl, r, max_cone_gates);
-    const Mat cls = embed(rc.cone).cls;
+  for (const Mat& cls : cone_cls) {
     for (int j = 0; j < config_.out_dim; ++j) sum.at(0, j) += cls.at(0, j);
   }
   return sum;

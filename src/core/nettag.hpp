@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -93,11 +94,20 @@ class NetTag {
   void save(const std::string& path_prefix) const;
   void load(const std::string& path_prefix);
 
-  void clear_text_cache() { text_cache_.clear(); }
-  std::size_t text_cache_size() const { return text_cache_.size(); }
+  void clear_text_cache() {
+    std::lock_guard<std::mutex> lk(text_cache_mu_);
+    text_cache_.clear();
+  }
+  std::size_t text_cache_size() const {
+    std::lock_guard<std::mutex> lk(text_cache_mu_);
+    return text_cache_.size();
+  }
 
  private:
   /// Frozen text embedding of one attribute, cached by token-id sequence.
+  /// Thread-safe: lookup/insert under a mutex, the encode itself outside it
+  /// (a racing duplicate encode produces the identical value, so which
+  /// thread's insert wins does not affect results).
   std::vector<float> cached_text_embedding(const std::string& attr);
 
   NetTagConfig config_;
@@ -105,6 +115,7 @@ class NetTag {
   Rng init_rng_;
   std::unique_ptr<TextEncoder> expr_llm_;
   std::unique_ptr<TagFormer> tagformer_;
+  mutable std::mutex text_cache_mu_;
   std::unordered_map<std::string, std::vector<float>> text_cache_;
 };
 

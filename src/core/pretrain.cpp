@@ -9,11 +9,83 @@
 #include "expr/transform.hpp"
 #include "model/graph.hpp"
 #include "rtlgen/optimize.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace nettag {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Data-parallel training-step machinery.
+//
+// A training step at width W > 1 splits the batch into contiguous shards,
+// forwards each shard on its own model replica, detaches the shard outputs
+// into leaf tensors, runs the (cheap) loss head plus its backward serially on
+// the joint leaf graph, then continues the backward pass into each shard's
+// replica graph in parallel — replica parameters are the per-worker gradient
+// buffers, so no two threads ever touch the same gradient. The replica
+// gradients are finally reduced into the master parameters in fixed shard
+// order (0, 1, 2, ...), making multi-threaded runs bit-identical run-to-run
+// at a fixed width. At width 1 the original joint-graph code path runs
+// instead, so NETTAG_THREADS=1 reproduces the serial trainer exactly.
+// ---------------------------------------------------------------------------
+
+/// Contiguous [begin, end) batch ranges, one per shard (same split rule as
+/// parallel_for so the partition is a pure function of (n, shards)).
+std::vector<std::pair<int, int>> shard_ranges(int n, int shards) {
+  std::vector<std::pair<int, int>> r;
+  r.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    r.emplace_back(n * s / shards, n * (s + 1) / shards);
+  }
+  return r;
+}
+
+/// Master parameters plus per-shard replica parameters (parallel index
+/// order). Replicas act as per-worker gradient buffers.
+struct ReplicaSet {
+  std::vector<Tensor> master;
+  std::vector<std::vector<Tensor>> clones;
+
+  bool active() const { return !clones.empty(); }
+
+  /// Copies master values into every replica and zeroes replica gradients
+  /// (called once per step, before the sharded forwards).
+  void refresh() {
+    ThreadPool::instance().run_indexed(clones.size(), [&](std::size_t s) {
+      for (std::size_t k = 0; k < master.size(); ++k) {
+        clones[s][k]->value = master[k]->value;
+        clones[s][k]->ensure_grad();
+        clones[s][k]->zero_grad();
+      }
+    });
+  }
+
+  /// Accumulates replica gradients into the master gradients. The shard loop
+  /// is innermost and strictly ordered (s = 0, 1, ...), so the float-addition
+  /// sequence per element is fixed; parallelism is across parameters, which
+  /// are independent.
+  void reduce() {
+    for (const Tensor& p : master) p->ensure_grad();
+    ThreadPool::instance().run_indexed(master.size(), [&](std::size_t k) {
+      Mat& g = master[k]->grad;
+      for (std::size_t s = 0; s < clones.size(); ++s) {
+        const Mat& cg = clones[s][k]->grad;
+        for (std::size_t i = 0; i < g.v.size(); ++i) g.v[i] += cg.v[i];
+      }
+    });
+  }
+};
+
+/// Copies the gradient accumulated on a detached leaf back onto the replica
+/// output it shadows and continues the backward pass into the replica graph.
+/// No-op when the leaf never received a gradient (output unused this step).
+void backward_through_leaf(const Tensor& leaf, const Tensor& raw) {
+  if (leaf->grad.v.empty()) return;
+  raw->grad = leaf->grad;
+  backward_seeded(raw);
+}
 
 /// Applies random equivalence rewrites to an expression *text* (parse ->
 /// transform -> print). Falls back to the original on parse failure (cannot
@@ -98,6 +170,23 @@ std::pair<float, float> pretrain_expr_encoder(
     for (const Tensor& p : prop_head.params()) params.push_back(p);
   }
   Adam opt(params, options.expr_lr);
+
+  // Encoder replicas for the sharded step (width > 1 only; at width 1 the
+  // joint-graph serial path below runs instead). Replica init weights are
+  // irrelevant — refresh() overwrites them each step.
+  const int shards = std::min(parallel_width(), options.expr_batch);
+  std::vector<std::unique_ptr<TextEncoder>> clones;
+  ReplicaSet reps;
+  if (shards > 1) {
+    reps.master = encoder.params();
+    Rng clone_rng(0);
+    for (int s = 0; s < shards; ++s) {
+      clones.push_back(std::make_unique<TextEncoder>(
+          encoder.vocab(), encoder.config(), clone_rng));
+      reps.clones.push_back(clones.back()->params());
+    }
+  }
+
   float first = 0.f, last = 0.f;
   for (int step = 0; step < options.expr_steps; ++step) {
     std::vector<std::string> anchors, positives;
@@ -107,8 +196,31 @@ std::pair<float, float> pretrain_expr_encoder(
       positives.push_back(
           transformed_expression(e, options.expr_transform_steps, rng));
     }
-    Tensor a = encoder.encode_batch(anchors);
-    Tensor p = encoder.encode_batch(positives);
+    Tensor a, p;
+    std::vector<Tensor> raw_a(static_cast<std::size_t>(shards)),
+        raw_p(static_cast<std::size_t>(shards));
+    std::vector<Tensor> leaf_a, leaf_p;
+    if (reps.active()) {
+      reps.refresh();
+      const auto ranges = shard_ranges(options.expr_batch, shards);
+      ThreadPool::instance().run_indexed(
+          static_cast<std::size_t>(shards), [&](std::size_t s) {
+            const auto [b, e] = ranges[s];
+            raw_a[s] = clones[s]->encode_batch(
+                {anchors.begin() + b, anchors.begin() + e});
+            raw_p[s] = clones[s]->encode_batch(
+                {positives.begin() + b, positives.begin() + e});
+          });
+      for (int s = 0; s < shards; ++s) {
+        leaf_a.push_back(make_tensor(raw_a[static_cast<std::size_t>(s)]->value, true));
+        leaf_p.push_back(make_tensor(raw_p[static_cast<std::size_t>(s)]->value, true));
+      }
+      a = concat_rows(leaf_a);
+      p = concat_rows(leaf_p);
+    } else {
+      a = encoder.encode_batch(anchors);
+      p = encoder.encode_batch(positives);
+    }
     Tensor loss = info_nce(a, p, options.temperature);
     if (options.objective_expr_props) {
       Mat targets(static_cast<int>(anchors.size()), 6);
@@ -119,6 +231,16 @@ std::pair<float, float> pretrain_expr_encoder(
       loss = add(loss, mse_loss(prop_head.forward(a), targets));
     }
     backward(loss);
+    if (reps.active()) {
+      // Continue the backward pass through each shard's replica graph, then
+      // fold replica gradients into the master encoder in shard order.
+      ThreadPool::instance().run_indexed(
+          static_cast<std::size_t>(shards), [&](std::size_t s) {
+            backward_through_leaf(leaf_a[s], raw_a[s]);
+            backward_through_leaf(leaf_p[s], raw_p[s]);
+          });
+      reps.reduce();
+    }
     opt.step();
     if (step == 0) first = loss->value.v[0];
     last = loss->value.v[0];
@@ -151,17 +273,26 @@ void pretrain_layout_encoder(Gcn& encoder,
   if (layouts.empty()) return;
   Adam opt(encoder.params(), options.aux_lr);
   for (int step = 0; step < options.aux_steps; ++step) {
-    std::vector<Tensor> anchors, positives;
+    // Sample serially (rng draw order must match the serial trainer), then
+    // fan the pure GCN forwards out across the pool in item order.
+    std::vector<const LayoutGraph*> graphs;
+    std::vector<Mat> jittered;
     for (int b = 0; b < options.aux_batch; ++b) {
       const LayoutGraph& lg = layouts[rng.index(layouts.size())];
-      const int n = static_cast<int>(lg.node_feats.size());
-      if (n == 0) continue;
-      Tensor adj = make_tensor(normalized_adjacency(n, lg.edges), false);
-      anchors.push_back(encoder.forward_graph(
-          make_tensor(layout_features(lg), false), adj));
-      positives.push_back(encoder.forward_graph(
-          make_tensor(jittered_layout_features(lg, rng), false), adj));
+      if (lg.node_feats.empty()) continue;
+      graphs.push_back(&lg);
+      jittered.push_back(jittered_layout_features(lg, rng));
     }
+    std::vector<Tensor> anchors(graphs.size()), positives(graphs.size());
+    ThreadPool::instance().run_indexed(graphs.size(), [&](std::size_t i) {
+      const LayoutGraph& lg = *graphs[i];
+      const int n = static_cast<int>(lg.node_feats.size());
+      Tensor adj = make_tensor(normalized_adjacency(n, lg.edges), false);
+      anchors[i] = encoder.forward_graph(
+          make_tensor(layout_features(lg), false), adj);
+      positives[i] = encoder.forward_graph(
+          make_tensor(jittered[i], false), adj);
+    });
     if (anchors.size() < 2) continue;
     Tensor loss = info_nce(concat_rows(anchors), concat_rows(positives),
                            options.temperature);
@@ -256,9 +387,7 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
   if (cones.empty() || options.tag_steps <= 0) return report;
 
   // Precompute per-cone artifacts (ExprLLM frozen => features are constant).
-  std::vector<PreparedCone> prepared;
-  prepared.reserve(cones.size());
-  for (const ConeSample* c : cones) {
+  auto prepare_cone = [&](const ConeSample* c, Rng& cone_rng) {
     PreparedCone p;
     p.tag = build_tag(c->cone, model.config().k_hop);
     const Mat base = model.config().use_text_attributes
@@ -266,7 +395,7 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
                          : netlist_base_features(c->cone);
     p.features = model.input_features(p.tag, base);
     // Functionally-equivalent augmentation (positive sample for #2.2).
-    Netlist aug = cleanup(logic_rewrite(c->cone, rng, 0.3));
+    Netlist aug = cleanup(logic_rewrite(c->cone, cone_rng, 0.3));
     p.tag_aug = build_tag(aug, model.config().k_hop);
     const Mat base_aug = model.config().use_text_attributes
                              ? Mat()
@@ -290,7 +419,22 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
                                          adj)
                          ->value;
     }
-    prepared.push_back(std::move(p));
+    return p;
+  };
+  std::vector<PreparedCone> prepared(cones.size());
+  if (parallel_width() > 1) {
+    // Fork one rng per cone serially (deterministic substreams), then
+    // prepare cones in parallel — dominated by frozen-encoder forwards.
+    std::vector<Rng> cone_rngs;
+    cone_rngs.reserve(cones.size());
+    for (std::size_t i = 0; i < cones.size(); ++i) cone_rngs.push_back(rng.fork());
+    ThreadPool::instance().run_indexed(cones.size(), [&](std::size_t i) {
+      prepared[i] = prepare_cone(cones[i], cone_rngs[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < cones.size(); ++i) {
+      prepared[i] = prepare_cone(cones[i], rng);
+    }
   }
 
   // Pre-training heads.
@@ -305,28 +449,73 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
   params.push_back(mask_emb);
   Adam opt(params, options.tag_lr);
 
+  // TAGFormer replicas for the sharded step (width > 1 only).
+  const int tag_shards = std::min(parallel_width(), options.graph_batch);
+  std::vector<std::unique_ptr<TagFormer>> tf_clones;
+  ReplicaSet tf_reps;
+  if (tag_shards > 1) {
+    tf_reps.master = model.tagformer().params();
+    Rng clone_rng(0);
+    for (int s = 0; s < tag_shards; ++s) {
+      tf_clones.push_back(
+          std::make_unique<TagFormer>(model.tagformer().config(), clone_rng));
+      tf_reps.clones.push_back(tf_clones.back()->params());
+    }
+  }
+
   for (int step = 0; step < options.tag_steps; ++step) {
     // Sample a batch of cones.
     std::vector<const PreparedCone*> batch;
     for (int b = 0; b < options.graph_batch; ++b) {
       batch.push_back(&prepared[rng.index(prepared.size())]);
     }
+    const std::size_t bsz = batch.size();
+    const auto ranges = shard_ranges(static_cast<int>(bsz), tag_shards);
+
+    // Sharded forwards: each shard runs its items on its own replica; the
+    // [CLS] outputs are detached below so the loss head runs on leaves.
+    std::vector<Tensor> raw_orig(bsz), raw_aug(bsz);
+    if (tf_reps.active()) {
+      tf_reps.refresh();
+      ThreadPool::instance().run_indexed(
+          static_cast<std::size_t>(tag_shards), [&](std::size_t s) {
+            auto fwd = [&](const Mat& feats,
+                           const std::vector<std::pair<int, int>>& edges) {
+              Tensor adj = make_tensor(tag_adjacency(feats.rows, edges), false);
+              return tf_clones[s]->forward(make_tensor(feats, false), adj);
+            };
+            for (int i = ranges[s].first; i < ranges[s].second; ++i) {
+              const PreparedCone* p = batch[static_cast<std::size_t>(i)];
+              raw_orig[static_cast<std::size_t>(i)] =
+                  fwd(p->features, p->tag.edges).cls;
+              if (options.objective_graph_cl) {
+                raw_aug[static_cast<std::size_t>(i)] =
+                    fwd(p->features_aug, p->tag_aug.edges).cls;
+              }
+            }
+          });
+    }
 
     std::vector<Tensor> losses;
     std::vector<Tensor> cls_orig, cls_aug, rtl_rows, layout_rows;
     bool all_aligned = true;
 
-    for (const PreparedCone* p : batch) {
-      TagFormer::Output out = model.forward_features(p->features, p->tag.edges);
-      cls_orig.push_back(out.cls);
+    for (std::size_t i = 0; i < bsz; ++i) {
+      const PreparedCone* p = batch[i];
+      cls_orig.push_back(
+          tf_reps.active()
+              ? make_tensor(raw_orig[i]->value, true)
+              : model.forward_features(p->features, p->tag.edges).cls);
       // #2.3 size prediction on the graph embedding.
       if (options.objective_size) {
-        losses.push_back(mse_loss(size_head.forward(out.cls), p->size_target));
+        losses.push_back(
+            mse_loss(size_head.forward(cls_orig.back()), p->size_target));
       }
       if (options.objective_graph_cl) {
-        TagFormer::Output aug =
-            model.forward_features(p->features_aug, p->tag_aug.edges);
-        cls_aug.push_back(aug.cls);
+        cls_aug.push_back(
+            tf_reps.active()
+                ? make_tensor(raw_aug[i]->value, true)
+                : model.forward_features(p->features_aug, p->tag_aug.edges).cls);
       }
       if (p->rtl_emb.rows == 1) {
         rtl_rows.push_back(make_tensor(p->rtl_emb, false));
@@ -392,6 +581,19 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
     Tensor total = losses[0];
     for (std::size_t i = 1; i < losses.size(); ++i) total = add(total, losses[i]);
     backward(total);
+    if (tf_reps.active()) {
+      ThreadPool::instance().run_indexed(
+          static_cast<std::size_t>(tag_shards), [&](std::size_t s) {
+            for (int i = ranges[s].first; i < ranges[s].second; ++i) {
+              const std::size_t u = static_cast<std::size_t>(i);
+              backward_through_leaf(cls_orig[u], raw_orig[u]);
+              if (options.objective_graph_cl) {
+                backward_through_leaf(cls_aug[u], raw_aug[u]);
+              }
+            }
+          });
+      tf_reps.reduce();
+    }
     opt.step();
     if (step == 0) report.tag_loss_first = total->value.v[0];
     report.tag_loss_last = total->value.v[0];

@@ -1,5 +1,7 @@
 #include "model/text_encoder.hpp"
 
+#include "util/parallel.hpp"
+
 namespace nettag {
 
 TextEncoderConfig TextEncoderConfig::tiny() {
@@ -67,9 +69,12 @@ Tensor TextEncoder::encode(const std::string& text) const {
 }
 
 Tensor TextEncoder::encode_batch(const std::vector<std::string>& texts) const {
-  std::vector<Tensor> rows;
-  rows.reserve(texts.size());
-  for (const auto& t : texts) rows.push_back(encode(t));
+  // Per-text forwards are independent (pure reads of the weights); the
+  // indexed fan-out keeps row order, so the result matches the serial loop.
+  std::vector<Tensor> rows(texts.size());
+  ThreadPool::instance().run_indexed(texts.size(), [&](std::size_t i) {
+    rows[i] = encode(texts[i]);
+  });
   return concat_rows(rows);
 }
 

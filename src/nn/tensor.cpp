@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/parallel.hpp"
+
 namespace nettag {
 
 namespace {
@@ -30,7 +32,28 @@ void accumulate(Node* p, const Mat& delta) {
   if (!p->requires_grad) return;
   p->ensure_grad();
   assert(p->grad.v.size() == delta.v.size());
-  for (std::size_t i = 0; i < delta.v.size(); ++i) p->grad.v[i] += delta.v[i];
+  float* g = p->grad.v.data();
+  const float* d = delta.v.data();
+  parallel_for(delta.v.size(), par::kMinOps,
+               [g, d](std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) g[i] += d[i];
+               });
+}
+
+/// Row partition for per-row kernels (softmax, layernorm, ...): each row is
+/// written by exactly one task, so results are bit-identical at any width.
+void for_rows(int n, std::size_t per_row_cost, std::size_t min_ops,
+              const std::function<void(int, int)>& body) {
+  parallel_for(static_cast<std::size_t>(n), par::grain(per_row_cost, min_ops),
+               [&body](std::size_t b, std::size_t e) {
+                 body(static_cast<int>(b), static_cast<int>(e));
+               });
+}
+
+/// Element partition for elementwise kernels.
+void for_elems(std::size_t n, std::size_t min_ops,
+               const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(n, min_ops, body);
 }
 
 }  // namespace
@@ -55,52 +78,67 @@ Tensor scalar(float v) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
   assert(a->value.cols == b->value.rows);
   const int n = a->value.rows, k = a->value.cols, m = b->value.cols;
+  const std::size_t row_cost = static_cast<std::size_t>(k) * m;
   Mat out(n, m);
   {
     const float* av = a->value.v.data();
     const float* bv = b->value.v.data();
     float* ov = out.v.data();
-    for (int i = 0; i < n; ++i) {
-      for (int p = 0; p < k; ++p) {
-        const float aip = av[i * k + p];
-        if (aip == 0.f) continue;
-        const float* brow = bv + p * m;
-        float* orow = ov + i * m;
-        for (int j = 0; j < m; ++j) orow[j] += aip * brow[j];
+    // Row-blocked: each output row is owned by one task (bit-identical to
+    // the serial triple loop at any width).
+    for_rows(n, row_cost, par::kMinOps, [&](int i0, int i1) {
+      for (int i = i0; i < i1; ++i) {
+        for (int p = 0; p < k; ++p) {
+          const float aip = av[i * k + p];
+          if (aip == 0.f) continue;
+          const float* brow = bv + p * m;
+          float* orow = ov + i * m;
+          for (int j = 0; j < m; ++j) orow[j] += aip * brow[j];
+        }
       }
-    }
+    });
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn, n, k, m](Node* o) {
+  return make_op(std::move(out), {a, b}, [an, bn, n, k, m,
+                                          row_cost](Node* o) {
     const float* g = o->grad.v.data();
     if (an->requires_grad) {
       an->ensure_grad();
       const float* bv = bn->value.v.data();
       float* ag = an->grad.v.data();
-      for (int i = 0; i < n; ++i) {
-        for (int p = 0; p < k; ++p) {
-          const float* brow = bv + p * m;
-          const float* grow = g + i * m;
-          float acc = 0.f;
-          for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
-          ag[i * k + p] += acc;
+      // dA[i,p] = sum_j dOut[i,j] B[p,j] — rows of dA partitioned by task.
+      for_rows(n, row_cost, par::kMinOps, [&](int i0, int i1) {
+        for (int i = i0; i < i1; ++i) {
+          for (int p = 0; p < k; ++p) {
+            const float* brow = bv + p * m;
+            const float* grow = g + i * m;
+            float acc = 0.f;
+            for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+            ag[i * k + p] += acc;
+          }
         }
-      }
+      });
     }
     if (bn->requires_grad) {
       bn->ensure_grad();
       const float* av = an->value.v.data();
       float* bg = bn->grad.v.data();
-      for (int i = 0; i < n; ++i) {
-        const float* grow = g + i * m;
-        for (int p = 0; p < k; ++p) {
-          const float aip = av[i * k + p];
-          if (aip == 0.f) continue;
-          float* bgrow = bg + p * m;
-          for (int j = 0; j < m; ++j) bgrow[j] += aip * grow[j];
-        }
-      }
+      // dB[p,j] = sum_i A[i,p] dOut[i,j] — rows of dB (p) partitioned by
+      // task, accumulating over i in ascending order, which is the same
+      // per-element addition sequence as the serial i-outer loop.
+      for_rows(k, static_cast<std::size_t>(n) * m, par::kMinOps,
+               [&](int p0, int p1) {
+                 for (int p = p0; p < p1; ++p) {
+                   float* bgrow = bg + p * m;
+                   for (int i = 0; i < n; ++i) {
+                     const float aip = av[i * k + p];
+                     if (aip == 0.f) continue;
+                     const float* grow = g + i * m;
+                     for (int j = 0; j < m; ++j) bgrow[j] += aip * grow[j];
+                   }
+                 }
+               });
     }
   });
 }
@@ -108,7 +146,13 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 Tensor add(const Tensor& a, const Tensor& b) {
   assert(a->value.rows == b->value.rows && a->value.cols == b->value.cols);
   Mat out = a->value;
-  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] += b->value.v[i];
+  {
+    float* ov = out.v.data();
+    const float* bv = b->value.v.data();
+    for_elems(out.v.size(), par::kMinOps, [ov, bv](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) ov[i] += bv[i];
+    });
+  }
   Node* an = a.get();
   Node* bn = b.get();
   return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
@@ -157,48 +201,76 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 Tensor mul(const Tensor& a, const Tensor& b) {
   assert(a->value.v.size() == b->value.v.size());
   Mat out = a->value;
-  for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] *= b->value.v[i];
+  {
+    float* ov = out.v.data();
+    const float* bv = b->value.v.data();
+    for_elems(out.v.size(), par::kMinOps, [ov, bv](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) ov[i] *= bv[i];
+    });
+  }
   Node* an = a.get();
   Node* bn = b.get();
   return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
     if (an->requires_grad) {
       an->ensure_grad();
-      for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-        an->grad.v[i] += o->grad.v[i] * bn->value.v[i];
-      }
+      for_elems(o->grad.v.size(), par::kMinOps,
+                [&](std::size_t i0, std::size_t i1) {
+                  for (std::size_t i = i0; i < i1; ++i) {
+                    an->grad.v[i] += o->grad.v[i] * bn->value.v[i];
+                  }
+                });
     }
     if (bn->requires_grad) {
       bn->ensure_grad();
-      for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-        bn->grad.v[i] += o->grad.v[i] * an->value.v[i];
-      }
+      for_elems(o->grad.v.size(), par::kMinOps,
+                [&](std::size_t i0, std::size_t i1) {
+                  for (std::size_t i = i0; i < i1; ++i) {
+                    bn->grad.v[i] += o->grad.v[i] * an->value.v[i];
+                  }
+                });
     }
   });
 }
 
 Tensor scale(const Tensor& a, float s) {
   Mat out = a->value;
-  for (float& x : out.v) x *= s;
+  {
+    float* ov = out.v.data();
+    for_elems(out.v.size(), par::kMinOps, [ov, s](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) ov[i] *= s;
+    });
+  }
   Node* an = a.get();
   return make_op(std::move(out), {a}, [an, s](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
-    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-      an->grad.v[i] += s * o->grad.v[i];
-    }
+    for_elems(o->grad.v.size(), par::kMinOps,
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  an->grad.v[i] += s * o->grad.v[i];
+                }
+              });
   });
 }
 
 Tensor relu(const Tensor& a) {
   Mat out = a->value;
-  for (float& x : out.v) x = std::max(x, 0.f);
+  {
+    float* ov = out.v.data();
+    for_elems(out.v.size(), par::kMinOps, [ov](std::size_t i0, std::size_t i1) {
+      for (std::size_t i = i0; i < i1; ++i) ov[i] = std::max(ov[i], 0.f);
+    });
+  }
   Node* an = a.get();
   return make_op(std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
-    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-      if (an->value.v[i] > 0.f) an->grad.v[i] += o->grad.v[i];
-    }
+    for_elems(o->grad.v.size(), par::kMinOps,
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  if (an->value.v[i] > 0.f) an->grad.v[i] += o->grad.v[i];
+                }
+              });
   });
 }
 
@@ -213,50 +285,81 @@ Tensor gelu(const Tensor& a) {
   constexpr float kC = kGeluC;
   constexpr float kB = kGeluB;
   Mat out = a->value;
-  for (float& x : out.v) {
-    const float t = std::tanh(kC * (x + kB * x * x * x));
-    x = 0.5f * x * (1.f + t);
+  {
+    float* ov = out.v.data();
+    for_elems(out.v.size(), par::kMinExpOps,
+              [ov](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const float x = ov[i];
+                  const float t = std::tanh(kC * (x + kB * x * x * x));
+                  ov[i] = 0.5f * x * (1.f + t);
+                }
+              });
   }
   Node* an = a.get();
   return make_op(std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
-    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-      const float x = an->value.v[i];
-      const float u = kGeluC * (x + kGeluB * x * x * x);
-      const float t = std::tanh(u);
-      const float du = kGeluC * (1.f + 3.f * kGeluB * x * x);
-      const float dy = 0.5f * (1.f + t) + 0.5f * x * (1.f - t * t) * du;
-      an->grad.v[i] += o->grad.v[i] * dy;
-    }
+    for_elems(o->grad.v.size(), par::kMinExpOps,
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const float x = an->value.v[i];
+                  const float u = kGeluC * (x + kGeluB * x * x * x);
+                  const float t = std::tanh(u);
+                  const float du = kGeluC * (1.f + 3.f * kGeluB * x * x);
+                  const float dy =
+                      0.5f * (1.f + t) + 0.5f * x * (1.f - t * t) * du;
+                  an->grad.v[i] += o->grad.v[i] * dy;
+                }
+              });
   });
 }
 
 Tensor tanh_op(const Tensor& a) {
   Mat out = a->value;
-  for (float& x : out.v) x = std::tanh(x);
+  {
+    float* ov = out.v.data();
+    for_elems(out.v.size(), par::kMinExpOps,
+              [ov](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) ov[i] = std::tanh(ov[i]);
+              });
+  }
   Node* an = a.get();
   return make_op(std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
-    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-      const float y = o->value.v[i];
-      an->grad.v[i] += o->grad.v[i] * (1.f - y * y);
-    }
+    for_elems(o->grad.v.size(), par::kMinOps,
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const float y = o->value.v[i];
+                  an->grad.v[i] += o->grad.v[i] * (1.f - y * y);
+                }
+              });
   });
 }
 
 Tensor sigmoid(const Tensor& a) {
   Mat out = a->value;
-  for (float& x : out.v) x = 1.f / (1.f + std::exp(-x));
+  {
+    float* ov = out.v.data();
+    for_elems(out.v.size(), par::kMinExpOps,
+              [ov](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  ov[i] = 1.f / (1.f + std::exp(-ov[i]));
+                }
+              });
+  }
   Node* an = a.get();
   return make_op(std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
-    for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
-      const float y = o->value.v[i];
-      an->grad.v[i] += o->grad.v[i] * y * (1.f - y);
-    }
+    for_elems(o->grad.v.size(), par::kMinOps,
+              [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                  const float y = o->value.v[i];
+                  an->grad.v[i] += o->grad.v[i] * y * (1.f - y);
+                }
+              });
   });
 }
 
@@ -389,29 +492,34 @@ Tensor sum_rows(const Tensor& a) {
 
 Tensor softmax_rows(const Tensor& a) {
   const int n = a->value.rows, d = a->value.cols;
+  const std::size_t row_cost = static_cast<std::size_t>(d);
   Mat out(n, d);
-  for (int i = 0; i < n; ++i) {
-    float mx = a->value.at(i, 0);
-    for (int j = 1; j < d; ++j) mx = std::max(mx, a->value.at(i, j));
-    float sum = 0.f;
-    for (int j = 0; j < d; ++j) {
-      const float e = std::exp(a->value.at(i, j) - mx);
-      out.at(i, j) = e;
-      sum += e;
+  for_rows(n, row_cost, par::kMinExpOps, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      float mx = a->value.at(i, 0);
+      for (int j = 1; j < d; ++j) mx = std::max(mx, a->value.at(i, j));
+      float sum = 0.f;
+      for (int j = 0; j < d; ++j) {
+        const float e = std::exp(a->value.at(i, j) - mx);
+        out.at(i, j) = e;
+        sum += e;
+      }
+      for (int j = 0; j < d; ++j) out.at(i, j) /= sum;
     }
-    for (int j = 0; j < d; ++j) out.at(i, j) /= sum;
-  }
+  });
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, n, d](Node* o) {
+  return make_op(std::move(out), {a}, [an, n, d, row_cost](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
-    for (int i = 0; i < n; ++i) {
-      float dot = 0.f;
-      for (int j = 0; j < d; ++j) dot += o->grad.at(i, j) * o->value.at(i, j);
-      for (int j = 0; j < d; ++j) {
-        an->grad.at(i, j) += o->value.at(i, j) * (o->grad.at(i, j) - dot);
+    for_rows(n, row_cost, par::kMinOps, [&](int i0, int i1) {
+      for (int i = i0; i < i1; ++i) {
+        float dot = 0.f;
+        for (int j = 0; j < d; ++j) dot += o->grad.at(i, j) * o->value.at(i, j);
+        for (int j = 0; j < d; ++j) {
+          an->grad.at(i, j) += o->value.at(i, j) * (o->grad.at(i, j) - dot);
+        }
       }
-    }
+    });
   });
 }
 
@@ -422,24 +530,26 @@ Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   Mat out(n, d);
   Mat xhat(n, d);
   std::vector<float> inv_sigma(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    float mean = 0.f;
-    for (int j = 0; j < d; ++j) mean += a->value.at(i, j);
-    mean /= static_cast<float>(d);
-    float var = 0.f;
-    for (int j = 0; j < d; ++j) {
-      const float c = a->value.at(i, j) - mean;
-      var += c * c;
+  for_rows(n, static_cast<std::size_t>(d), par::kMinOps, [&](int i0, int i1) {
+    for (int i = i0; i < i1; ++i) {
+      float mean = 0.f;
+      for (int j = 0; j < d; ++j) mean += a->value.at(i, j);
+      mean /= static_cast<float>(d);
+      float var = 0.f;
+      for (int j = 0; j < d; ++j) {
+        const float c = a->value.at(i, j) - mean;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float is = 1.f / std::sqrt(var + eps);
+      inv_sigma[static_cast<std::size_t>(i)] = is;
+      for (int j = 0; j < d; ++j) {
+        const float xh = (a->value.at(i, j) - mean) * is;
+        xhat.at(i, j) = xh;
+        out.at(i, j) = gamma->value.at(0, j) * xh + beta->value.at(0, j);
+      }
     }
-    var /= static_cast<float>(d);
-    const float is = 1.f / std::sqrt(var + eps);
-    inv_sigma[static_cast<std::size_t>(i)] = is;
-    for (int j = 0; j < d; ++j) {
-      const float xh = (a->value.at(i, j) - mean) * is;
-      xhat.at(i, j) = xh;
-      out.at(i, j) = gamma->value.at(0, j) * xh + beta->value.at(0, j);
-    }
-  }
+  });
   Node* an = a.get();
   Node* gn = gamma.get();
   Node* bn = beta.get();
@@ -463,22 +573,25 @@ Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
         }
         if (an->requires_grad) {
           an->ensure_grad();
-          for (int i = 0; i < n; ++i) {
-            // g = dOut * gamma ; dx = is * (g - mean(g) - xhat * mean(g*xhat))
-            float mg = 0.f, mgx = 0.f;
-            for (int j = 0; j < d; ++j) {
-              const float g = o->grad.at(i, j) * gn->value.at(0, j);
-              mg += g;
-              mgx += g * xhat.at(i, j);
+          for_rows(n, static_cast<std::size_t>(d), par::kMinOps,
+                   [&](int i0, int i1) {
+            for (int i = i0; i < i1; ++i) {
+              // g = dOut * gamma ; dx = is * (g - mean(g) - xhat * mean(g*xhat))
+              float mg = 0.f, mgx = 0.f;
+              for (int j = 0; j < d; ++j) {
+                const float g = o->grad.at(i, j) * gn->value.at(0, j);
+                mg += g;
+                mgx += g * xhat.at(i, j);
+              }
+              mg /= static_cast<float>(d);
+              mgx /= static_cast<float>(d);
+              const float is = inv_sigma[static_cast<std::size_t>(i)];
+              for (int j = 0; j < d; ++j) {
+                const float g = o->grad.at(i, j) * gn->value.at(0, j);
+                an->grad.at(i, j) += is * (g - mg - xhat.at(i, j) * mgx);
+              }
             }
-            mg /= static_cast<float>(d);
-            mgx /= static_cast<float>(d);
-            const float is = inv_sigma[static_cast<std::size_t>(i)];
-            for (int j = 0; j < d; ++j) {
-              const float g = o->grad.at(i, j) * gn->value.at(0, j);
-              an->grad.at(i, j) += is * (g - mg - xhat.at(i, j) * mgx);
-            }
-          }
+          });
         }
       });
 }
@@ -486,12 +599,17 @@ Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
 Tensor embedding(const Tensor& table, const std::vector<int>& ids) {
   const int d = table->value.cols;
   Mat out(static_cast<int>(ids.size()), d);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    assert(ids[i] >= 0 && ids[i] < table->value.rows);
-    for (int j = 0; j < d; ++j) {
-      out.at(static_cast<int>(i), j) = table->value.at(ids[i], j);
+  parallel_for(ids.size(), par::grain(static_cast<std::size_t>(d), par::kMinOps),
+               [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      assert(ids[i] >= 0 && ids[i] < table->value.rows);
+      for (int j = 0; j < d; ++j) {
+        out.at(static_cast<int>(i), j) = table->value.at(ids[i], j);
+      }
     }
-  }
+  });
+  // Backward stays serial: the scatter-add over repeated ids is
+  // order-sensitive, and the table is small relative to the gather.
   Node* tn = table.get();
   return make_op(std::move(out), {table}, [tn, ids, d](Node* o) {
     if (!tn->requires_grad) return;
@@ -508,29 +626,35 @@ Tensor normalize_rows(const Tensor& a, float eps) {
   const int n = a->value.rows, d = a->value.cols;
   Mat out(n, d);
   std::vector<float> norms(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    float s = 0.f;
-    for (int j = 0; j < d; ++j) s += a->value.at(i, j) * a->value.at(i, j);
-    const float nm = std::sqrt(s) + eps;
-    norms[static_cast<std::size_t>(i)] = nm;
-    for (int j = 0; j < d; ++j) out.at(i, j) = a->value.at(i, j) / nm;
-  }
+  const std::size_t row_cost = static_cast<std::size_t>(d) * 3;
+  for_rows(n, row_cost, par::kMinOps, [&](int b, int e) {
+    for (int i = b; i < e; ++i) {
+      float s = 0.f;
+      for (int j = 0; j < d; ++j) s += a->value.at(i, j) * a->value.at(i, j);
+      const float nm = std::sqrt(s) + eps;
+      norms[static_cast<std::size_t>(i)] = nm;
+      for (int j = 0; j < d; ++j) out.at(i, j) = a->value.at(i, j) / nm;
+    }
+  });
   Node* an = a.get();
   return make_op(std::move(out), {a},
-                 [an, n, d, norms = std::move(norms)](Node* o) {
+                 [an, n, d, row_cost, norms = std::move(norms)](Node* o) {
                    if (!an->requires_grad) return;
                    an->ensure_grad();
-                   for (int i = 0; i < n; ++i) {
-                     float dot = 0.f;
-                     for (int j = 0; j < d; ++j) {
-                       dot += o->grad.at(i, j) * o->value.at(i, j);
+                   for_rows(n, row_cost, par::kMinOps, [&](int b, int e) {
+                     for (int i = b; i < e; ++i) {
+                       float dot = 0.f;
+                       for (int j = 0; j < d; ++j) {
+                         dot += o->grad.at(i, j) * o->value.at(i, j);
+                       }
+                       const float inv =
+                           1.f / norms[static_cast<std::size_t>(i)];
+                       for (int j = 0; j < d; ++j) {
+                         an->grad.at(i, j) +=
+                             (o->grad.at(i, j) - o->value.at(i, j) * dot) * inv;
+                       }
                      }
-                     const float inv = 1.f / norms[static_cast<std::size_t>(i)];
-                     for (int j = 0; j < d; ++j) {
-                       an->grad.at(i, j) +=
-                           (o->grad.at(i, j) - o->value.at(i, j) * dot) * inv;
-                     }
-                   }
+                   });
                  });
 }
 
@@ -557,19 +681,27 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
   const int n = logits->value.rows, c = logits->value.cols;
   assert(static_cast<int>(targets.size()) == n);
   Mat probs(n, c);
-  double loss = 0.0;
-  for (int i = 0; i < n; ++i) {
-    float mx = logits->value.at(i, 0);
-    for (int j = 1; j < c; ++j) mx = std::max(mx, logits->value.at(i, j));
-    float sum = 0.f;
-    for (int j = 0; j < c; ++j) {
-      const float e = std::exp(logits->value.at(i, j) - mx);
-      probs.at(i, j) = e;
-      sum += e;
+  // Per-row terms in parallel; the final reduction stays a serial loop in row
+  // order so the loss matches the serial float-addition sequence exactly.
+  std::vector<double> row_loss(static_cast<std::size_t>(n));
+  for_rows(n, static_cast<std::size_t>(c) * 3, par::kMinExpOps,
+           [&](int rb, int re) {
+    for (int i = rb; i < re; ++i) {
+      float mx = logits->value.at(i, 0);
+      for (int j = 1; j < c; ++j) mx = std::max(mx, logits->value.at(i, j));
+      float sum = 0.f;
+      for (int j = 0; j < c; ++j) {
+        const float e = std::exp(logits->value.at(i, j) - mx);
+        probs.at(i, j) = e;
+        sum += e;
+      }
+      for (int j = 0; j < c; ++j) probs.at(i, j) /= sum;
+      row_loss[static_cast<std::size_t>(i)] = -std::log(std::max(
+          probs.at(i, targets[static_cast<std::size_t>(i)]), 1e-12f));
     }
-    for (int j = 0; j < c; ++j) probs.at(i, j) /= sum;
-    loss -= std::log(std::max(probs.at(i, targets[static_cast<std::size_t>(i)]), 1e-12f));
-  }
+  });
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) loss += row_loss[static_cast<std::size_t>(i)];
   Mat out(1, 1);
   out.v[0] = static_cast<float>(loss / n);
   Node* ln = logits.get();
@@ -578,13 +710,18 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
                    if (!ln->requires_grad) return;
                    ln->ensure_grad();
                    const float g = o->grad.v[0] / static_cast<float>(n);
-                   for (int i = 0; i < n; ++i) {
-                     for (int j = 0; j < c; ++j) {
-                       float d = probs.at(i, j);
-                       if (j == targets[static_cast<std::size_t>(i)]) d -= 1.f;
-                       ln->grad.at(i, j) += g * d;
+                   for_rows(n, static_cast<std::size_t>(c) * 2, par::kMinOps,
+                            [&](int rb, int re) {
+                     for (int i = rb; i < re; ++i) {
+                       for (int j = 0; j < c; ++j) {
+                         float d = probs.at(i, j);
+                         if (j == targets[static_cast<std::size_t>(i)]) {
+                           d -= 1.f;
+                         }
+                         ln->grad.at(i, j) += g * d;
+                       }
                      }
-                   }
+                   });
                  });
 }
 
@@ -602,9 +739,11 @@ Tensor mse_loss(const Tensor& pred, const Mat& target) {
     if (!pn->requires_grad) return;
     pn->ensure_grad();
     const float g = o->grad.v[0] * 2.f / static_cast<float>(target.v.size());
-    for (std::size_t i = 0; i < target.v.size(); ++i) {
-      pn->grad.v[i] += g * (pn->value.v[i] - target.v[i]);
-    }
+    for_elems(target.v.size(), par::kMinOps, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        pn->grad.v[i] += g * (pn->value.v[i] - target.v[i]);
+      }
+    });
   });
 }
 
@@ -621,14 +760,15 @@ Tensor info_nce(const Tensor& anchors, const Tensor& positives,
   return cross_entropy(logits, targets);
 }
 
-void backward(const Tensor& loss) {
-  assert(loss->value.rows == 1 && loss->value.cols == 1);
-  if (!loss->requires_grad) return;
-  // Topological order via iterative DFS over parents.
+namespace {
+
+/// Runs the backward sweep from `root`, assuming root->grad is already
+/// seeded. Topological order via iterative DFS over parents.
+void run_backward(Node* root) {
   std::vector<Node*> order;
   std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, std::size_t>> stack{{loss.get(), 0}};
-  visited.insert(loss.get());
+  std::vector<std::pair<Node*, std::size_t>> stack{{root, 0}};
+  visited.insert(root);
   while (!stack.empty()) {
     auto& [node, idx] = stack.back();
     if (idx < node->parents.size()) {
@@ -643,12 +783,25 @@ void backward(const Tensor& loss) {
       stack.pop_back();
     }
   }
-  loss->ensure_grad();
-  loss->grad.v[0] = 1.f;
   // `order` is post-order (parents first); traverse in reverse.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if ((*it)->backward_fn) (*it)->backward_fn();
   }
+}
+
+}  // namespace
+
+void backward(const Tensor& loss) {
+  assert(loss->value.rows == 1 && loss->value.cols == 1);
+  if (!loss->requires_grad) return;
+  loss->ensure_grad();
+  loss->grad.v[0] = 1.f;
+  run_backward(loss.get());
+}
+
+void backward_seeded(const Tensor& root) {
+  if (!root->requires_grad) return;
+  run_backward(root.get());
 }
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -664,9 +817,10 @@ void Adam::step() {
   ++t_;
   const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
-  for (std::size_t k = 0; k < params_.size(); ++k) {
+  // Each parameter tensor is updated independently — parallel over params.
+  for (std::size_t k = 0; k < params_.size(); ++k) params_[k]->ensure_grad();
+  ThreadPool::instance().run_indexed(params_.size(), [&](std::size_t k) {
     Node& p = *params_[k];
-    p.ensure_grad();
     for (std::size_t i = 0; i < p.value.v.size(); ++i) {
       const float g = p.grad.v[i];
       m_[k].v[i] = beta1_ * m_[k].v[i] + (1.f - beta1_) * g;
@@ -675,7 +829,7 @@ void Adam::step() {
       const float vhat = v_[k].v[i] / bc2;
       p.value.v[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
-  }
+  });
   zero_grad();
 }
 

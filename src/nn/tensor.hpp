@@ -116,6 +116,11 @@ Tensor info_nce(const Tensor& anchors, const Tensor& positives,
 /// accumulates gradients into every reachable requires_grad node.
 void backward(const Tensor& loss);
 
+/// Runs reverse-mode autodiff from `root` without seeding: root->grad must
+/// already hold the upstream gradient (any shape). Used by the data-parallel
+/// training step to continue a backward pass into a detached subgraph.
+void backward_seeded(const Tensor& root);
+
 /// Adam optimizer over an explicit parameter list.
 class Adam {
  public:

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/parallel.hpp"
+
 namespace nettag {
 
 double net_hpwl(const Netlist& nl, const Placement& pl, GateId driver) {
@@ -21,8 +23,16 @@ double net_hpwl(const Netlist& nl, const Placement& pl, GateId driver) {
 }
 
 double total_hpwl(const Netlist& nl, const Placement& pl) {
+  // Per-net lengths in parallel, reduced serially in gate order so the
+  // float-addition sequence matches the serial loop exactly.
+  std::vector<double> len(nl.size());
+  parallel_for(nl.size(), 256, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      len[i] = net_hpwl(nl, pl, static_cast<GateId>(i));
+    }
+  });
   double sum = 0.0;
-  for (const Gate& g : nl.gates()) sum += net_hpwl(nl, pl, g.id);
+  for (double l : len) sum += l;
   return sum;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace nettag {
 
 Mat vstack(const std::vector<Mat>& rows) {
@@ -24,11 +26,15 @@ Mat vstack(const std::vector<Mat>& rows) {
 
 Mat take_rows(const Mat& x, const std::vector<int>& idx) {
   Mat out(static_cast<int>(idx.size()), x.cols);
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    for (int j = 0; j < x.cols; ++j) {
-      out.at(static_cast<int>(i), j) = x.at(idx[i], j);
+  parallel_for(idx.size(),
+               par::grain(static_cast<std::size_t>(x.cols), par::kMinOps),
+               [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      for (int j = 0; j < x.cols; ++j) {
+        out.at(static_cast<int>(i), j) = x.at(idx[i], j);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -37,17 +43,22 @@ void fit_column_stats(const Mat& x, std::vector<float>* mean,
   mean->assign(static_cast<std::size_t>(x.cols), 0.f);
   std->assign(static_cast<std::size_t>(x.cols), 1.f);
   if (x.rows == 0) return;
-  for (int j = 0; j < x.cols; ++j) {
-    double s = 0, sq = 0;
-    for (int i = 0; i < x.rows; ++i) {
-      s += x.at(i, j);
-      sq += static_cast<double>(x.at(i, j)) * x.at(i, j);
+  // Columns are independent reductions; each keeps its serial row order.
+  parallel_for(static_cast<std::size_t>(x.cols),
+               par::grain(static_cast<std::size_t>(x.rows) * 3, par::kMinOps),
+               [&](std::size_t jb, std::size_t je) {
+    for (int j = static_cast<int>(jb); j < static_cast<int>(je); ++j) {
+      double s = 0, sq = 0;
+      for (int i = 0; i < x.rows; ++i) {
+        s += x.at(i, j);
+        sq += static_cast<double>(x.at(i, j)) * x.at(i, j);
+      }
+      const double m = s / x.rows;
+      const double v = std::max(sq / x.rows - m * m, 1e-8);
+      (*mean)[static_cast<std::size_t>(j)] = static_cast<float>(m);
+      (*std)[static_cast<std::size_t>(j)] = static_cast<float>(std::sqrt(v));
     }
-    const double m = s / x.rows;
-    const double v = std::max(sq / x.rows - m * m, 1e-8);
-    (*mean)[static_cast<std::size_t>(j)] = static_cast<float>(m);
-    (*std)[static_cast<std::size_t>(j)] = static_cast<float>(std::sqrt(v));
-  }
+  });
   // Floor each column std at a fraction of the average std: columns with
   // near-zero variance would otherwise amplify noise after division.
   double avg = 0;
@@ -61,12 +72,16 @@ Mat apply_column_stats(const Mat& x, const std::vector<float>& mean,
                        const std::vector<float>& std) {
   if (mean.empty()) return x;
   Mat out = x;
-  for (int i = 0; i < out.rows; ++i) {
-    for (int j = 0; j < out.cols; ++j) {
-      out.at(i, j) = (out.at(i, j) - mean[static_cast<std::size_t>(j)]) /
-                     std[static_cast<std::size_t>(j)];
+  parallel_for(static_cast<std::size_t>(out.rows),
+               par::grain(static_cast<std::size_t>(out.cols) * 2, par::kMinOps),
+               [&](std::size_t ib, std::size_t ie) {
+    for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+      for (int j = 0; j < out.cols; ++j) {
+        out.at(i, j) = (out.at(i, j) - mean[static_cast<std::size_t>(j)]) /
+                       std[static_cast<std::size_t>(j)];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -125,13 +140,17 @@ Mat ClassifierHead::scores(const Mat& x) const {
 std::vector<int> ClassifierHead::predict(const Mat& x) const {
   const Mat s = scores(x);
   std::vector<int> out(static_cast<std::size_t>(s.rows));
-  for (int i = 0; i < s.rows; ++i) {
-    int best = 0;
-    for (int j = 1; j < s.cols; ++j) {
-      if (s.at(i, j) > s.at(i, best)) best = j;
+  parallel_for(out.size(),
+               par::grain(static_cast<std::size_t>(s.cols), par::kMinOps),
+               [&](std::size_t b, std::size_t e) {
+    for (int i = static_cast<int>(b); i < static_cast<int>(e); ++i) {
+      int best = 0;
+      for (int j = 1; j < s.cols; ++j) {
+        if (s.at(i, j) > s.at(i, best)) best = j;
+      }
+      out[static_cast<std::size_t>(i)] = best;
     }
-    out[static_cast<std::size_t>(i)] = best;
-  }
+  });
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "model/gcn.hpp"
 #include "model/graph.hpp"
+#include "util/parallel.hpp"
 #include "tasks/labels.hpp"
 
 namespace nettag {
@@ -71,7 +72,7 @@ Task1Result run_task1(NetTag& model, const Corpus& corpus,
   // input features (ExprLLM text embedding + x_phys): the head fine-tunes on
   // both granularities of the frozen representation.
   std::vector<Mat> embeddings(corpus.designs.size());
-  for (std::size_t i = 0; i < corpus.designs.size(); ++i) {
+  ThreadPool::instance().run_indexed(corpus.designs.size(), [&](std::size_t i) {
     const NetTag::ConeEmbedding emb = model.embed(*data[i].nl);
     Mat joined(emb.nodes.rows, emb.nodes.cols + emb.inputs.cols);
     for (int r = 0; r < emb.nodes.rows; ++r) {
@@ -81,7 +82,7 @@ Task1Result run_task1(NetTag& model, const Corpus& corpus,
       }
     }
     embeddings[i] = std::move(joined);
-  }
+  });
   std::vector<Mat> x_parts;
   std::vector<int> y_train;
   for (int d : train) {

@@ -4,6 +4,7 @@
 
 #include "model/gcn.hpp"
 #include "model/graph.hpp"
+#include "util/parallel.hpp"
 
 namespace nettag {
 
@@ -52,11 +53,11 @@ Task2Result run_task2(NetTag& model, const Corpus& corpus,
   // ---------------- NetTAG: cone embeddings + balanced head ----------------
   // Cache cone CLS embeddings per design.
   std::vector<std::vector<Mat>> cone_emb(corpus.designs.size());
-  for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
+  ThreadPool::instance().run_indexed(corpus.designs.size(), [&](std::size_t d) {
     for (const ConeSample& c : corpus.designs[d].cones) {
       cone_emb[d].push_back(model.cone_feature(c.cone));
     }
-  }
+  });
   std::vector<Mat> x_parts;
   std::vector<int> y_train;
   for (int d : train) {

@@ -6,6 +6,7 @@
 
 #include "model/gcn.hpp"
 #include "model/graph.hpp"
+#include "util/parallel.hpp"
 #include "tasks/gbdt.hpp"
 
 namespace nettag {
@@ -68,9 +69,9 @@ Task3Result run_task3(NetTag& model, const Corpus& corpus,
   // feature / used to convert back).
   // Netlist-stage STA estimates per design (input feature for both models).
   std::vector<TimingReport> est(corpus.designs.size());
-  for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
+  ThreadPool::instance().run_indexed(corpus.designs.size(), [&](std::size_t d) {
     est[d] = netlist_stage_sta(corpus.designs[d].gen.netlist);
-  }
+  });
   auto est_arrival = [&](std::size_t d, const std::string& reg_name) {
     const Netlist& nl = corpus.designs[d].gen.netlist;
     const GateId r = nl.find(reg_name);
@@ -81,7 +82,7 @@ Task3Result run_task3(NetTag& model, const Corpus& corpus,
   // estimate + design-level context (layout-stage wire delay and optimization
   // pressure scale with the whole design, not just the cone).
   std::vector<std::vector<Mat>> cone_emb(corpus.designs.size());
-  for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
+  ThreadPool::instance().run_indexed(corpus.designs.size(), [&](std::size_t d) {
     const Netlist& nl = corpus.designs[d].gen.netlist;
     double fanout_sum = 0;
     for (const Gate& g : nl.gates()) fanout_sum += static_cast<double>(g.fanouts.size());
@@ -101,7 +102,7 @@ Task3Result run_task3(NetTag& model, const Corpus& corpus,
       row.at(0, at++) = design_crit;
       cone_emb[d].push_back(std::move(row));
     }
-  }
+  });
   // Residual learning in log-ratio space: sign-off arrival is modeled as a
   // *multiplicative* correction of the netlist-stage estimate (wire delay
   // and optimization scale with the path, so the ratio is bounded across

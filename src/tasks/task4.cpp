@@ -8,6 +8,7 @@
 
 #include "model/gcn.hpp"
 #include "model/graph.hpp"
+#include "util/parallel.hpp"
 
 namespace nettag {
 
@@ -105,7 +106,7 @@ Task4Result run_task4(NetTag& model, const Corpus& corpus,
   // layout wirelength the tool estimate is blind to.
   const int extra = 7;
   Mat x_all(static_cast<int>(n), model.embedding_dim() + extra);
-  for (std::size_t d = 0; d < n; ++d) {
+  ThreadPool::instance().run_indexed(n, [&](std::size_t d) {
     const Netlist& nl = corpus.designs[d].gen.netlist;
     const Mat emb = model.embed_circuit(nl);
     for (int j = 0; j < model.embedding_dim(); ++j) {
@@ -140,7 +141,7 @@ Task4Result run_task4(NetTag& model, const Corpus& corpus,
     // activity structure the flat tool estimate misses.
     x_all.at(static_cast<int>(d), at++) = static_cast<float>(
         std::log(std::max(netlist_stage_power(nl).total(), 1e-6)));
-  }
+  });
 
   // GNN features: structural + physical + the per-gate netlist-stage power
   // estimate (PowPrediCT consumes per-cell synthesis reports the same way).
