@@ -1,0 +1,55 @@
+#include "analysis/check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace nettag {
+
+void check_fail(const char* condition, const char* file, int line,
+                const std::string& message) {
+  std::string what = "NETTAG_CHECK failed: ";
+  what += condition;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += " — ";
+    what += message;
+  }
+  throw CheckError(what);
+}
+
+namespace {
+
+// -1 = unresolved, 0 = off, 1 = on. Atomic so worker threads may query
+// concurrently with a test toggling the override.
+std::atomic<int> g_deep_checks{-1};
+
+int resolve_from_env() {
+  const char* s = std::getenv("NETTAG_CHECK");
+  if (s == nullptr) return 0;
+  if (std::strcmp(s, "1") == 0 || std::strcmp(s, "on") == 0 ||
+      std::strcmp(s, "true") == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool deep_checks_enabled() {
+  int v = g_deep_checks.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_from_env();
+    g_deep_checks.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+void set_deep_checks(bool enabled) {
+  g_deep_checks.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace nettag

@@ -1,0 +1,47 @@
+// Always-on checked invariants (the release-build replacement for bare
+// `assert`) plus the opt-in deep-check mode.
+//
+// NETTAG_CHECK(cond, msg) evaluates `cond` in every build type; on failure
+// it throws nettag::CheckError carrying the stringified condition, the
+// source location, and `msg` — which is only evaluated on failure, so call
+// sites may build rich contextual strings (shapes, op names, step numbers)
+// without paying for them on the hot path.
+//
+// Deep checks (NaN/Inf guards after every tensor forward and backward,
+// gradient-norm sanity in the pre-training loops) are gated behind
+// deep_checks_enabled(): the NETTAG_CHECK environment variable ("1"/"on"/
+// "true" enables) or a runtime override from tests and tools.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nettag {
+
+/// Thrown by NETTAG_CHECK on violation. Derives from std::logic_error:
+/// a failed check is a programming/data-integrity bug, not an input error.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// [[noreturn]] failure path for the macro below.
+[[noreturn]] void check_fail(const char* condition, const char* file, int line,
+                             const std::string& message);
+
+/// True when expensive invariant checks are on: NETTAG_CHECK env var at
+/// first query, unless overridden by set_deep_checks().
+bool deep_checks_enabled();
+
+/// Runtime override (tests, nettag_lint --deep). Wins over the env var.
+void set_deep_checks(bool enabled);
+
+}  // namespace nettag
+
+/// Always-on invariant check with a lazily-built contextual message.
+#define NETTAG_CHECK(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::nettag::check_fail(#cond, __FILE__, __LINE__, (msg));          \
+    }                                                                  \
+  } while (0)

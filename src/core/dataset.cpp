@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hpp"
 #include "expr/expr.hpp"
 #include "expr/tokenizer.hpp"
 #include "model/graph.hpp"
@@ -91,6 +92,11 @@ Corpus build_corpus(const CorpusOptions& options, Rng& rng) {
       corpus.designs.push_back(std::move(sample));
     }
   }
+  // Dataset-assembly lint seam: cheap structural + boundary + label rules
+  // over every design, cone, and layout graph before anything trains on
+  // them. Deep (semantic) rules stay off here; `nettag_lint --deep` and the
+  // CI gate run them.
+  enforce_clean(lint_corpus(corpus), "corpus assembly");
   return corpus;
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <sstream>
 
+#include "analysis/check.hpp"
 #include "expr/expr.hpp"
 #include "expr/transform.hpp"
 #include "model/graph.hpp"
@@ -85,6 +86,27 @@ void backward_through_leaf(const Tensor& leaf, const Tensor& raw) {
   if (leaf->grad.v.empty()) return;
   raw->grad = leaf->grad;
   backward_seeded(raw);
+}
+
+/// Training-step sanity: the loss must always be finite (a single-float
+/// check, on in every build); with deep checks on, the global gradient norm
+/// over `params` must additionally be finite and non-explosive before the
+/// optimizer consumes it.
+void check_training_step(const Tensor& loss, const std::vector<Tensor>& params,
+                         const char* phase, int step) {
+  NETTAG_CHECK(std::isfinite(loss->value.v[0]),
+               std::string(phase) + ": loss became non-finite at step " +
+                   std::to_string(step));
+  if (!deep_checks_enabled()) return;
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    for (const float g : p->grad.v) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  NETTAG_CHECK(std::isfinite(norm) && norm < 1e12,
+               std::string(phase) + ": gradient norm " +
+                   std::to_string(norm) + " at step " + std::to_string(step) +
+                   " (non-finite or exploding)");
 }
 
 /// Applies random equivalence rewrites to an expression *text* (parse ->
@@ -241,6 +263,7 @@ std::pair<float, float> pretrain_expr_encoder(
           });
       reps.reduce();
     }
+    check_training_step(loss, params, "pretrain step 1 (expr)", step);
     opt.step();
     if (step == 0) first = loss->value.v[0];
     last = loss->value.v[0];
@@ -594,6 +617,7 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
           });
       tf_reps.reduce();
     }
+    check_training_step(total, params, "pretrain step 2 (tag)", step);
     opt.step();
     if (step == 0) report.tag_loss_first = total->value.v[0];
     report.tag_loss_last = total->value.v[0];

@@ -1,25 +1,42 @@
 #include "nn/tensor.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
+#include "analysis/check.hpp"
 #include "util/parallel.hpp"
 
 namespace nettag {
 
 namespace {
 
+/// "RxC" shape string for check messages.
+std::string sh(const Mat& m) {
+  return std::to_string(m.rows) + "x" + std::to_string(m.cols);
+}
+
+/// Deep-mode guard: every entry of `m` must be finite.
+void check_finite(const Mat& m, const char* op, const char* what) {
+  for (std::size_t i = 0; i < m.v.size(); ++i) {
+    NETTAG_CHECK(std::isfinite(m.v[i]),
+                 std::string(op) + ": non-finite " + what + " at element " +
+                     std::to_string(i) + " of " + sh(m));
+  }
+}
+
 /// Builds an op node: value + parents + a gradient closure that receives the
 /// finished output node (so it can read out->grad). Parents are captured by
 /// shared_ptr inside the node, keeping the graph alive until backward().
-Tensor make_op(Mat value, std::vector<Tensor> parents,
+/// `op` names the operation in invariant-violation messages.
+Tensor make_op(const char* op, Mat value, std::vector<Tensor> parents,
                std::function<void(Node*)> grad_fn) {
+  if (deep_checks_enabled()) check_finite(value, op, "forward output");
   bool rg = false;
   for (const Tensor& p : parents) rg = rg || p->requires_grad;
   auto node = std::make_shared<Node>(std::move(value), rg);
+  node->op = op;
   if (rg) {
     node->parents = std::move(parents);
     Node* raw = node.get();
@@ -31,7 +48,9 @@ Tensor make_op(Mat value, std::vector<Tensor> parents,
 void accumulate(Node* p, const Mat& delta) {
   if (!p->requires_grad) return;
   p->ensure_grad();
-  assert(p->grad.v.size() == delta.v.size());
+  NETTAG_CHECK(p->grad.v.size() == delta.v.size(),
+               "accumulate: gradient shape " + sh(p->grad) +
+                   " vs delta shape " + sh(delta));
   float* g = p->grad.v.data();
   const float* d = delta.v.data();
   parallel_for(delta.v.size(), par::kMinOps,
@@ -76,7 +95,9 @@ Tensor scalar(float v) {
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  assert(a->value.cols == b->value.rows);
+  NETTAG_CHECK(a->value.cols == b->value.rows,
+               "matmul: inner dimensions differ: " + sh(a->value) + " x " +
+                   sh(b->value));
   const int n = a->value.rows, k = a->value.cols, m = b->value.cols;
   const std::size_t row_cost = static_cast<std::size_t>(k) * m;
   Mat out(n, m);
@@ -100,7 +121,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn, n, k, m,
+  return make_op("matmul", std::move(out), {a, b}, [an, bn, n, k, m,
                                           row_cost](Node* o) {
     const float* g = o->grad.v.data();
     if (an->requires_grad) {
@@ -144,7 +165,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  assert(a->value.rows == b->value.rows && a->value.cols == b->value.cols);
+  NETTAG_CHECK(
+      a->value.rows == b->value.rows && a->value.cols == b->value.cols,
+      "add: shape mismatch: " + sh(a->value) + " vs " + sh(b->value));
   Mat out = a->value;
   {
     float* ov = out.v.data();
@@ -155,14 +178,16 @@ Tensor add(const Tensor& a, const Tensor& b) {
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
+  return make_op("add", std::move(out), {a, b}, [an, bn](Node* o) {
     accumulate(an, o->grad);
     accumulate(bn, o->grad);
   });
 }
 
 Tensor add_rowvec(const Tensor& a, const Tensor& b) {
-  assert(b->value.rows == 1 && a->value.cols == b->value.cols);
+  NETTAG_CHECK(b->value.rows == 1 && a->value.cols == b->value.cols,
+               "add_rowvec: want NxD + 1xD, got " + sh(a->value) + " + " +
+                   sh(b->value));
   Mat out = a->value;
   const int n = out.rows, d = out.cols;
   for (int i = 0; i < n; ++i) {
@@ -170,7 +195,7 @@ Tensor add_rowvec(const Tensor& a, const Tensor& b) {
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn, n, d](Node* o) {
+  return make_op("add_rowvec", std::move(out), {a, b}, [an, bn, n, d](Node* o) {
     accumulate(an, o->grad);
     if (bn->requires_grad) {
       bn->ensure_grad();
@@ -182,12 +207,14 @@ Tensor add_rowvec(const Tensor& a, const Tensor& b) {
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  assert(a->value.rows == b->value.rows && a->value.cols == b->value.cols);
+  NETTAG_CHECK(
+      a->value.rows == b->value.rows && a->value.cols == b->value.cols,
+      "sub: shape mismatch: " + sh(a->value) + " vs " + sh(b->value));
   Mat out = a->value;
   for (std::size_t i = 0; i < out.v.size(); ++i) out.v[i] -= b->value.v[i];
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
+  return make_op("sub", std::move(out), {a, b}, [an, bn](Node* o) {
     accumulate(an, o->grad);
     if (bn->requires_grad) {
       bn->ensure_grad();
@@ -199,7 +226,9 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  assert(a->value.v.size() == b->value.v.size());
+  NETTAG_CHECK(a->value.v.size() == b->value.v.size(),
+               "mul: element count mismatch: " + sh(a->value) + " vs " +
+                   sh(b->value));
   Mat out = a->value;
   {
     float* ov = out.v.data();
@@ -210,7 +239,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn](Node* o) {
+  return make_op("mul", std::move(out), {a, b}, [an, bn](Node* o) {
     if (an->requires_grad) {
       an->ensure_grad();
       for_elems(o->grad.v.size(), par::kMinOps,
@@ -241,7 +270,7 @@ Tensor scale(const Tensor& a, float s) {
     });
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, s](Node* o) {
+  return make_op("scale", std::move(out), {a}, [an, s](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for_elems(o->grad.v.size(), par::kMinOps,
@@ -262,7 +291,7 @@ Tensor relu(const Tensor& a) {
     });
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an](Node* o) {
+  return make_op("relu", std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for_elems(o->grad.v.size(), par::kMinOps,
@@ -297,7 +326,7 @@ Tensor gelu(const Tensor& a) {
               });
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an](Node* o) {
+  return make_op("gelu", std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for_elems(o->grad.v.size(), par::kMinExpOps,
@@ -325,7 +354,7 @@ Tensor tanh_op(const Tensor& a) {
               });
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an](Node* o) {
+  return make_op("tanh", std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for_elems(o->grad.v.size(), par::kMinOps,
@@ -350,7 +379,7 @@ Tensor sigmoid(const Tensor& a) {
               });
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an](Node* o) {
+  return make_op("sigmoid", std::move(out), {a}, [an](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for_elems(o->grad.v.size(), par::kMinOps,
@@ -370,7 +399,7 @@ Tensor transpose(const Tensor& a) {
     for (int j = 0; j < m; ++j) out.at(j, i) = a->value.at(i, j);
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, n, m](Node* o) {
+  return make_op("transpose", std::move(out), {a}, [an, n, m](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for (int i = 0; i < n; ++i) {
@@ -380,7 +409,9 @@ Tensor transpose(const Tensor& a) {
 }
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
-  assert(a->value.rows == b->value.rows);
+  NETTAG_CHECK(a->value.rows == b->value.rows,
+               "concat_cols: row mismatch: " + sh(a->value) + " vs " +
+                   sh(b->value));
   const int n = a->value.rows, da = a->value.cols, db = b->value.cols;
   Mat out(n, da + db);
   for (int i = 0; i < n; ++i) {
@@ -389,7 +420,7 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op(std::move(out), {a, b}, [an, bn, n, da, db](Node* o) {
+  return make_op("concat_cols", std::move(out), {a, b}, [an, bn, n, da, db](Node* o) {
     if (an->requires_grad) {
       an->ensure_grad();
       for (int i = 0; i < n; ++i) {
@@ -406,11 +437,14 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
 }
 
 Tensor concat_rows(const std::vector<Tensor>& parts) {
-  assert(!parts.empty());
+  NETTAG_CHECK(!parts.empty(), "concat_rows: empty part list");
   const int d = parts[0]->value.cols;
   int total = 0;
   for (const Tensor& p : parts) {
-    assert(p->value.cols == d);
+    NETTAG_CHECK(p->value.cols == d,
+                 "concat_rows: part shape " + sh(p->value) +
+                     " differs in width from first part (" +
+                     std::to_string(d) + " cols)");
     total += p->value.rows;
   }
   Mat out(total, d);
@@ -423,7 +457,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
   std::vector<Node*> raw;
   raw.reserve(parts.size());
   for (const Tensor& p : parts) raw.push_back(p.get());
-  return make_op(std::move(out), parts, [raw, d](Node* o) {
+  return make_op("concat_rows", std::move(out), parts, [raw, d](Node* o) {
     int row = 0;
     for (Node* p : raw) {
       if (p->requires_grad) {
@@ -440,14 +474,17 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
 }
 
 Tensor slice_rows(const Tensor& a, int start, int count) {
-  assert(start >= 0 && start + count <= a->value.rows);
+  NETTAG_CHECK(start >= 0 && count >= 0 && start + count <= a->value.rows,
+               "slice_rows: rows [" + std::to_string(start) + ", " +
+                   std::to_string(start + count) + ") outside " +
+                   sh(a->value));
   const int d = a->value.cols;
   Mat out(count, d);
   for (int i = 0; i < count; ++i) {
     for (int j = 0; j < d; ++j) out.at(i, j) = a->value.at(start + i, j);
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, start, count, d](Node* o) {
+  return make_op("slice_rows", std::move(out), {a}, [an, start, count, d](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for (int i = 0; i < count; ++i) {
@@ -464,7 +501,7 @@ Tensor mean_rows(const Tensor& a) {
   }
   for (int j = 0; j < d; ++j) out.at(0, j) /= static_cast<float>(n);
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, n, d](Node* o) {
+  return make_op("mean_rows", std::move(out), {a}, [an, n, d](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     const float inv = 1.f / static_cast<float>(n);
@@ -481,7 +518,7 @@ Tensor sum_rows(const Tensor& a) {
     for (int j = 0; j < d; ++j) out.at(0, j) += a->value.at(i, j);
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, n, d](Node* o) {
+  return make_op("sum_rows", std::move(out), {a}, [an, n, d](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for (int i = 0; i < n; ++i) {
@@ -508,7 +545,7 @@ Tensor softmax_rows(const Tensor& a) {
     }
   });
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, n, d, row_cost](Node* o) {
+  return make_op("softmax_rows", std::move(out), {a}, [an, n, d, row_cost](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for_rows(n, row_cost, par::kMinOps, [&](int i0, int i1) {
@@ -526,7 +563,9 @@ Tensor softmax_rows(const Tensor& a) {
 Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
                       float eps) {
   const int n = a->value.rows, d = a->value.cols;
-  assert(gamma->value.cols == d && beta->value.cols == d);
+  NETTAG_CHECK(gamma->value.cols == d && beta->value.cols == d,
+               "layernorm_rows: gamma " + sh(gamma->value) + " / beta " +
+                   sh(beta->value) + " do not match input " + sh(a->value));
   Mat out(n, d);
   Mat xhat(n, d);
   std::vector<float> inv_sigma(static_cast<std::size_t>(n));
@@ -554,7 +593,7 @@ Tensor layernorm_rows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   Node* gn = gamma.get();
   Node* bn = beta.get();
   return make_op(
-      std::move(out), {a, gamma, beta},
+      "layer_norm", std::move(out), {a, gamma, beta},
       [an, gn, bn, n, d, xhat = std::move(xhat),
        inv_sigma = std::move(inv_sigma)](Node* o) {
         if (gn->requires_grad) {
@@ -602,7 +641,9 @@ Tensor embedding(const Tensor& table, const std::vector<int>& ids) {
   parallel_for(ids.size(), par::grain(static_cast<std::size_t>(d), par::kMinOps),
                [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
-      assert(ids[i] >= 0 && ids[i] < table->value.rows);
+      NETTAG_CHECK(ids[i] >= 0 && ids[i] < table->value.rows,
+                   "embedding: id " + std::to_string(ids[i]) +
+                       " outside table " + sh(table->value));
       for (int j = 0; j < d; ++j) {
         out.at(static_cast<int>(i), j) = table->value.at(ids[i], j);
       }
@@ -611,7 +652,7 @@ Tensor embedding(const Tensor& table, const std::vector<int>& ids) {
   // Backward stays serial: the scatter-add over repeated ids is
   // order-sensitive, and the table is small relative to the gather.
   Node* tn = table.get();
-  return make_op(std::move(out), {table}, [tn, ids, d](Node* o) {
+  return make_op("embedding", std::move(out), {table}, [tn, ids, d](Node* o) {
     if (!tn->requires_grad) return;
     tn->ensure_grad();
     for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -637,7 +678,7 @@ Tensor normalize_rows(const Tensor& a, float eps) {
     }
   });
   Node* an = a.get();
-  return make_op(std::move(out), {a},
+  return make_op("normalize_rows", std::move(out), {a},
                  [an, n, d, row_cost, norms = std::move(norms)](Node* o) {
                    if (!an->requires_grad) return;
                    an->ensure_grad();
@@ -668,7 +709,7 @@ Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
     out.v[i] *= mask[i];
   }
   Node* an = a.get();
-  return make_op(std::move(out), {a}, [an, mask = std::move(mask)](Node* o) {
+  return make_op("dropout", std::move(out), {a}, [an, mask = std::move(mask)](Node* o) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     for (std::size_t i = 0; i < o->grad.v.size(); ++i) {
@@ -679,7 +720,9 @@ Tensor dropout(const Tensor& a, float p, bool train, Rng& rng) {
 
 Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
   const int n = logits->value.rows, c = logits->value.cols;
-  assert(static_cast<int>(targets.size()) == n);
+  NETTAG_CHECK(static_cast<int>(targets.size()) == n,
+               "cross_entropy: " + std::to_string(targets.size()) +
+                   " targets for logits " + sh(logits->value));
   Mat probs(n, c);
   // Per-row terms in parallel; the final reduction stays a serial loop in row
   // order so the loss matches the serial float-addition sequence exactly.
@@ -705,7 +748,7 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
   Mat out(1, 1);
   out.v[0] = static_cast<float>(loss / n);
   Node* ln = logits.get();
-  return make_op(std::move(out), {logits},
+  return make_op("cross_entropy", std::move(out), {logits},
                  [ln, targets, n, c, probs = std::move(probs)](Node* o) {
                    if (!ln->requires_grad) return;
                    ln->ensure_grad();
@@ -726,7 +769,9 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<int>& targets) {
 }
 
 Tensor mse_loss(const Tensor& pred, const Mat& target) {
-  assert(pred->value.v.size() == target.v.size());
+  NETTAG_CHECK(pred->value.v.size() == target.v.size(),
+               "mse_loss: prediction " + sh(pred->value) +
+                   " vs target " + sh(target));
   double sum = 0.0;
   for (std::size_t i = 0; i < target.v.size(); ++i) {
     const double d = pred->value.v[i] - target.v[i];
@@ -735,7 +780,7 @@ Tensor mse_loss(const Tensor& pred, const Mat& target) {
   Mat out(1, 1);
   out.v[0] = static_cast<float>(sum / static_cast<double>(target.v.size()));
   Node* pn = pred.get();
-  return make_op(std::move(out), {pred}, [pn, target](Node* o) {
+  return make_op("mse_loss", std::move(out), {pred}, [pn, target](Node* o) {
     if (!pn->requires_grad) return;
     pn->ensure_grad();
     const float g = o->grad.v[0] * 2.f / static_cast<float>(target.v.size());
@@ -749,7 +794,9 @@ Tensor mse_loss(const Tensor& pred, const Mat& target) {
 
 Tensor info_nce(const Tensor& anchors, const Tensor& positives,
                 float temperature) {
-  assert(anchors->value.rows == positives->value.rows);
+  NETTAG_CHECK(anchors->value.rows == positives->value.rows,
+               "info_nce: anchors " + sh(anchors->value) +
+                   " vs positives " + sh(positives->value));
   const int n = anchors->value.rows;
   Tensor a = normalize_rows(anchors);
   Tensor p = normalize_rows(positives);
@@ -787,12 +834,22 @@ void run_backward(Node* root) {
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if ((*it)->backward_fn) (*it)->backward_fn();
   }
+  // Deep-mode NaN/Inf sweep over every gradient produced by this pass,
+  // attributed to the node's producing op.
+  if (deep_checks_enabled()) {
+    for (const Node* node : order) {
+      if (node->requires_grad && !node->grad.v.empty()) {
+        check_finite(node->grad, node->op, "gradient");
+      }
+    }
+  }
 }
 
 }  // namespace
 
 void backward(const Tensor& loss) {
-  assert(loss->value.rows == 1 && loss->value.cols == 1);
+  NETTAG_CHECK(loss->value.rows == 1 && loss->value.cols == 1,
+               "backward: loss must be 1x1, got " + sh(loss->value));
   if (!loss->requires_grad) return;
   loss->ensure_grad();
   loss->grad.v[0] = 1.f;
@@ -819,6 +876,11 @@ void Adam::step() {
   const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
   // Each parameter tensor is updated independently — parallel over params.
   for (std::size_t k = 0; k < params_.size(); ++k) params_[k]->ensure_grad();
+  if (deep_checks_enabled()) {
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+      check_finite(params_[k]->grad, "Adam::step", "parameter gradient");
+    }
+  }
   ThreadPool::instance().run_indexed(params_.size(), [&](std::size_t k) {
     Node& p = *params_[k];
     for (std::size_t i = 0; i < p.value.v.size(); ++i) {

@@ -6,6 +6,12 @@
 // its gradient, and a backward closure. Ops build the graph eagerly;
 // backward() topologically sorts the reachable graph and accumulates
 // gradients. All shapes are 2-D (rows x cols); vectors are 1xN or Nx1.
+//
+// Invariants: every op checks its shape contract with NETTAG_CHECK
+// (analysis/check.hpp) — active in release builds, throwing CheckError with
+// the offending shapes. With deep checks on (NETTAG_CHECK=1 env var), every
+// op output is additionally scanned for NaN/Inf after the forward and every
+// gradient after the backward sweep, naming the producing op.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +46,7 @@ class Node {
  public:
   Mat value;
   Mat grad;                       ///< same shape as value (lazily allocated)
+  const char* op = "leaf";        ///< producing op name (diagnostics only)
   bool requires_grad = false;
   std::vector<Tensor> parents;
   std::function<void()> backward_fn;  ///< propagates this->grad to parents

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lint.hpp"
 #include "rtlgen/optimize.hpp"
 #include "util/timer.hpp"
 
@@ -20,6 +21,11 @@ PhysicalResult run_physical_flow(const Netlist& nl, Rng& rng, bool optimize,
     // Even the non-optimizing flow legalizes heavy fanouts during placement.
     res.implemented = insert_buffers(nl, 8);
   }
+  // Post-implementation lint seam: restructuring must not corrupt the
+  // netlist (labels extracted from a broken implementation poison Tasks
+  // 3/4 and the layout modality).
+  enforce_clean(lint_netlist(res.implemented),
+                "physical flow " + nl.name());
   res.placement = place(res.implemented, rng, placement_passes);
   res.parasitics = extract_parasitics(res.implemented, res.placement);
   if (clock_period <= 0.0) {

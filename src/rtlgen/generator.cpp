@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/lint.hpp"
 #include "rtlgen/optimize.hpp"
 #include "rtlgen/synthesizer.hpp"
 
@@ -347,6 +348,9 @@ GeneratedDesign generate_design(const FamilyProfile& profile, Rng& rng,
   out.netlist = cleanup(diversified);
   out.netlist.set_name(design_name);
   out.netlist.validate();
+  // Post-synthesis lint seam: refuse to emit a structurally broken design
+  // (rule ids and severities in docs/ARCHITECTURE.md §6).
+  enforce_clean(lint_netlist(out.netlist), "rtlgen " + design_name);
   return out;
 }
 

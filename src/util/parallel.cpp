@@ -1,9 +1,12 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,17 +16,44 @@ namespace {
 
 thread_local bool t_in_pool_task = false;
 
-int resolve_width_from_env() {
-  if (const char* s = std::getenv("NETTAG_THREADS")) {
-    const int v = std::atoi(s);
-    if (v >= 1) return v > 256 ? 256 : v;
-  }
+int hardware_width() {
   const unsigned hc = std::thread::hardware_concurrency();
   if (hc == 0) return 1;
   return hc > 256 ? 256 : static_cast<int>(hc);
 }
 
+int resolve_width_from_env() {
+  const int fallback = hardware_width();
+  const char* s = std::getenv("NETTAG_THREADS");
+  if (s == nullptr) return fallback;
+  std::string warning;
+  const int width = parse_thread_count(s, fallback, &warning);
+  if (!warning.empty()) {
+    std::fprintf(stderr, "nettag: %s\n", warning.c_str());
+  }
+  return width;
+}
+
 }  // namespace
+
+int parse_thread_count(const char* text, int fallback, std::string* warning) {
+  auto reject = [&](const std::string& why) {
+    if (warning != nullptr) {
+      *warning = "ignoring NETTAG_THREADS='" + std::string(text) + "': " +
+                 why + "; falling back to " + std::to_string(fallback) +
+                 " (hardware concurrency)";
+    }
+    return fallback;
+  };
+  if (text == nullptr || *text == '\0') return reject("empty value");
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return reject("not an integer");
+  if (errno == ERANGE) return reject("out of range");
+  if (v < 1) return reject("thread count must be >= 1");
+  return v > 256 ? 256 : static_cast<int>(v);
+}
 
 /// One parallel region: a fixed task count drained via an atomic cursor.
 struct ThreadPool::Job {

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 namespace nettag {
 
@@ -69,6 +70,13 @@ class ThreadPool {
 
 /// Convenience accessor: ThreadPool::instance().width().
 int parallel_width();
+
+/// Parses a NETTAG_THREADS-style value. Returns the parsed width clamped to
+/// [1, 256]; rejects 0, negatives, non-numeric, and trailing-garbage values
+/// by returning `fallback` and, when `warning` is non-null, describing the
+/// rejection there. Exposed for unit tests; the pool uses it at startup.
+int parse_thread_count(const char* text, int fallback,
+                       std::string* warning = nullptr);
 
 /// Splits [0, n) into at most width() contiguous chunks of at least `grain`
 /// items and runs body(begin, end) for each, blocking. Chunk boundaries
