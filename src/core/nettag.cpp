@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "model/graph.hpp"
 #include "netlist/cone.hpp"
 #include "nn/serialize.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace nettag {
 
 NetTag::NetTag(const NetTagConfig& config, std::uint64_t seed)
-    : config_(config), init_rng_(seed) {
+    : config_(config),
+      init_rng_(seed),
+      text_cache_(config.text_cache_entries) {
   expr_llm_ = std::make_unique<TextEncoder>(vocab_, config.expr_llm, init_rng_);
   TagFormerConfig tf;
   tf.in_dim = tag_in_dim();
@@ -29,7 +33,7 @@ int NetTag::tag_in_dim() const {
   return text_dim + netlist_phys_feature_dim();
 }
 
-std::vector<float> NetTag::cached_text_embedding(const std::string& attr) {
+std::vector<float> NetTag::cached_text_embedding(const std::string& attr) const {
   // Cache key: the anonymized token-id sequence, so attributes differing
   // only by instance names share an entry.
   const std::vector<int> ids =
@@ -40,21 +44,17 @@ std::vector<float> NetTag::cached_text_embedding(const std::string& attr) {
     key.push_back(static_cast<char>(id & 0xff));
     key.push_back(static_cast<char>((id >> 8) & 0xff));
   }
-  {
-    std::lock_guard<std::mutex> lk(text_cache_mu_);
-    auto it = text_cache_.find(key);
-    if (it != text_cache_.end()) return it->second;
-  }
+  std::vector<float> row;
+  if (text_cache_.lookup(key, &row)) return row;
+  // Encode outside the cache lock; a racing duplicate encode produces the
+  // identical value, so which thread's insert wins does not affect results.
   const Tensor emb = expr_llm_->encode_ids(ids);
-  std::vector<float> row = emb->value.v;
-  {
-    std::lock_guard<std::mutex> lk(text_cache_mu_);
-    text_cache_.emplace(std::move(key), row);
-  }
+  row = emb->value.v;
+  text_cache_.insert(key, row);
   return row;
 }
 
-Mat NetTag::input_features(const TagGraph& tag, const Mat& base_feats) {
+Mat NetTag::input_features(const TagGraph& tag, const Mat& base_feats) const {
   const int n = tag.num_nodes();
   const int phys_dim = tag.phys.cols;
   Mat feats(n, tag_in_dim());
@@ -79,23 +79,30 @@ Mat NetTag::input_features(const TagGraph& tag, const Mat& base_feats) {
 }
 
 TagFormer::Output NetTag::forward_features(
-    const Mat& features, const std::vector<std::pair<int, int>>& edges) {
+    const Mat& features, const std::vector<std::pair<int, int>>& edges) const {
   return forward_tensor(make_tensor(features, false), edges);
 }
 
 TagFormer::Output NetTag::forward_tensor(
-    const Tensor& features, const std::vector<std::pair<int, int>>& edges) {
+    const Tensor& features, const std::vector<std::pair<int, int>>& edges) const {
   const int n = features->value.rows;
   Tensor adj = make_tensor(tag_adjacency(n, edges), false);
   return tagformer_->forward(features, adj);
 }
 
-NetTag::ConeEmbedding NetTag::embed(const Netlist& nl, int k_hop_override) {
+NetTag::ConeEmbedding NetTag::embed(const Netlist& nl, int k_hop_override,
+                                    EmbedTiming* timing) const {
+  Timer t;
   const TagGraph tag =
       build_tag(nl, k_hop_override > 0 ? k_hop_override : config_.k_hop);
+  if (timing) atomic_add_seconds(timing->tag_build, t.seconds());
   const Mat base = config_.use_text_attributes ? Mat() : netlist_base_features(nl);
+  t.reset();
   const Mat feats = input_features(tag, base);
+  if (timing) atomic_add_seconds(timing->text_encode, t.seconds());
+  t.reset();
   const TagFormer::Output out = forward_features(feats, tag.edges);
+  if (timing) atomic_add_seconds(timing->tagformer, t.seconds());
   ConeEmbedding emb;
   emb.nodes = out.nodes->value;
   emb.cls = out.cls->value;
@@ -103,7 +110,7 @@ NetTag::ConeEmbedding NetTag::embed(const Netlist& nl, int k_hop_override) {
   return emb;
 }
 
-Mat NetTag::cone_feature(const Netlist& cone) {
+Mat NetTag::cone_feature(const Netlist& cone) const {
   const ConeEmbedding emb = embed(cone);
   // Locate the cone's register (a cone has exactly one DFF); fall back to
   // the last node for combinational snippets.
@@ -139,17 +146,18 @@ Mat NetTag::cone_feature(const Netlist& cone) {
   return out;
 }
 
-Mat NetTag::embed_circuit(const Netlist& nl, std::size_t max_cone_gates) {
+Mat NetTag::embed_circuit(const Netlist& nl, std::size_t max_cone_gates,
+                          EmbedTiming* timing) const {
   const std::vector<GateId> regs = nl.registers();
   if (regs.empty()) {
-    return embed(nl).cls;
+    return embed(nl, 0, timing).cls;
   }
   // Embed cones in parallel; reduce in register order so the float-addition
   // sequence (and therefore the result) matches the serial loop bit-for-bit.
   std::vector<Mat> cone_cls(regs.size());
   ThreadPool::instance().run_indexed(regs.size(), [&](std::size_t i) {
     const RegisterCone rc = extract_cone(nl, regs[i], max_cone_gates);
-    cone_cls[i] = embed(rc.cone).cls;
+    cone_cls[i] = embed(rc.cone, 0, timing).cls;
   });
   Mat sum(1, config_.out_dim);
   for (const Mat& cls : cone_cls) {
@@ -167,6 +175,90 @@ void NetTag::load(const std::string& path_prefix) {
   load_params(path_prefix + ".exprllm.bin", expr_llm_->params());
   load_params(path_prefix + ".tagformer.bin", tagformer_->params());
   clear_text_cache();
+}
+
+namespace {
+constexpr const char* kCkptFormat = "nettag-ckpt-v1";
+}  // namespace
+
+void save_checkpoint(const NetTag& model, const std::string& prefix) {
+  const NetTagConfig& c = model.config();
+  save_manifest(
+      prefix + ".ckpt",
+      {{"format", kCkptFormat},
+       {"expr_d_model", std::to_string(c.expr_llm.d_model)},
+       {"expr_num_layers", std::to_string(c.expr_llm.num_layers)},
+       {"expr_num_heads", std::to_string(c.expr_llm.num_heads)},
+       {"expr_d_ff", std::to_string(c.expr_llm.d_ff)},
+       {"expr_max_len", std::to_string(c.expr_llm.max_len)},
+       {"expr_out_dim", std::to_string(c.expr_llm.out_dim)},
+       {"tag_d_model", std::to_string(c.tag_d_model)},
+       {"tag_layers", std::to_string(c.tag_layers)},
+       {"out_dim", std::to_string(c.out_dim)},
+       {"k_hop", std::to_string(c.k_hop)},
+       {"use_text_attributes", c.use_text_attributes ? "1" : "0"},
+       {"text_cache_entries", std::to_string(c.text_cache_entries)}});
+  model.save(prefix);
+}
+
+NetTagConfig read_checkpoint_config(const std::string& prefix) {
+  const std::string path = prefix + ".ckpt";
+  NetTagConfig c;
+  bool format_ok = false;
+  auto to_int = [&path](const std::string& key, const std::string& v) {
+    try {
+      return std::stoi(v);
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_checkpoint_config: " + path +
+                               ": bad integer for '" + key + "': " + v);
+    }
+  };
+  for (const auto& [key, value] : load_manifest(path)) {
+    if (key == "format") {
+      if (value != kCkptFormat) {
+        throw std::runtime_error("read_checkpoint_config: " + path +
+                                 ": unknown format '" + value + "'");
+      }
+      format_ok = true;
+    } else if (key == "expr_d_model") {
+      c.expr_llm.d_model = to_int(key, value);
+    } else if (key == "expr_num_layers") {
+      c.expr_llm.num_layers = to_int(key, value);
+    } else if (key == "expr_num_heads") {
+      c.expr_llm.num_heads = to_int(key, value);
+    } else if (key == "expr_d_ff") {
+      c.expr_llm.d_ff = to_int(key, value);
+    } else if (key == "expr_max_len") {
+      c.expr_llm.max_len = to_int(key, value);
+    } else if (key == "expr_out_dim") {
+      c.expr_llm.out_dim = to_int(key, value);
+    } else if (key == "tag_d_model") {
+      c.tag_d_model = to_int(key, value);
+    } else if (key == "tag_layers") {
+      c.tag_layers = to_int(key, value);
+    } else if (key == "out_dim") {
+      c.out_dim = to_int(key, value);
+    } else if (key == "k_hop") {
+      c.k_hop = to_int(key, value);
+    } else if (key == "use_text_attributes") {
+      c.use_text_attributes = value != "0";
+    } else if (key == "text_cache_entries") {
+      c.text_cache_entries = static_cast<std::size_t>(to_int(key, value));
+    }
+    // Unknown keys are ignored so older binaries can read newer manifests.
+  }
+  if (!format_ok) {
+    throw std::runtime_error("read_checkpoint_config: " + path +
+                             ": missing 'format' line (not a checkpoint?)");
+  }
+  return c;
+}
+
+std::unique_ptr<NetTag> load_checkpoint(const std::string& prefix,
+                                        std::uint64_t seed) {
+  auto model = std::make_unique<NetTag>(read_checkpoint_config(prefix), seed);
+  model->load(prefix);
+  return model;
 }
 
 }  // namespace nettag

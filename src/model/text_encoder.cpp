@@ -91,4 +91,57 @@ std::vector<Tensor> TextEncoder::params() const {
 
 Tensor stack_rows(const std::vector<Tensor>& rows) { return concat_rows(rows); }
 
+bool TextEmbeddingCache::lookup(const std::string& key,
+                                std::vector<float>* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (const std::vector<float>* row = map_.get(key)) {
+    ++hits_;
+    *out = *row;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void TextEmbeddingCache::insert(const std::string& key,
+                                std::vector<float> row) {
+  std::lock_guard<std::mutex> lk(mu_);
+  evictions_ += map_.put(key, std::move(row));
+}
+
+void TextEmbeddingCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+}
+
+void TextEmbeddingCache::set_capacity(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lk(mu_);
+  evictions_ += map_.set_capacity(max_entries);
+}
+
+std::size_t TextEmbeddingCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+std::size_t TextEmbeddingCache::capacity() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.capacity();
+}
+
+std::uint64_t TextEmbeddingCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+std::uint64_t TextEmbeddingCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+std::uint64_t TextEmbeddingCache::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+
 }  // namespace nettag

@@ -8,12 +8,15 @@
 // size tiers mirror the paper's Fig. 7 scaling axis (BERT-110M / 1.3B / 8B).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "expr/tokenizer.hpp"
 #include "nn/layers.hpp"
+#include "util/lru.hpp"
 
 namespace nettag {
 
@@ -58,5 +61,45 @@ class TextEncoder : public Module {
 
 /// Concatenates per-text embeddings row-wise (helper shared by objectives).
 Tensor stack_rows(const std::vector<Tensor>& rows);
+
+/// Bounded thread-safe LRU cache for *frozen* text-encoder embeddings,
+/// keyed by the packed token-id sequence (attribute tokenization anonymizes
+/// instance names, so structurally identical attributes share one entry).
+///
+/// The encoder is frozen at inference time, so a cached row is always valid;
+/// boundedness matters because a serving daemon sees an unbounded stream of
+/// distinct attributes and the old unbounded map grew without limit under
+/// sustained traffic. Hit/miss/eviction counters feed the serve `stats`
+/// endpoint. Lookup and insert take a mutex; callers run the encode itself
+/// outside the lock (a racing duplicate encode produces the identical value,
+/// so which insert wins does not affect results).
+class TextEmbeddingCache {
+ public:
+  static constexpr std::size_t kDefaultEntries = 4096;
+
+  explicit TextEmbeddingCache(std::size_t max_entries = kDefaultEntries)
+      : map_(max_entries) {}
+
+  /// Copies the cached row into *out and promotes the entry. Counts a hit
+  /// or a miss either way.
+  bool lookup(const std::string& key, std::vector<float>* out);
+
+  /// Inserts (or overwrites) one row, evicting the coldest beyond capacity.
+  void insert(const std::string& key, std::vector<float> row);
+
+  void clear();
+  void set_capacity(std::size_t max_entries);
+
+  std::size_t size() const;
+  std::size_t capacity() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  mutable std::mutex mu_;
+  LruMap<std::string, std::vector<float>> map_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
 
 }  // namespace nettag

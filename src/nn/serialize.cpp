@@ -50,4 +50,43 @@ void load_params(const std::string& path, const std::vector<Tensor>& params) {
   if (!in) throw std::runtime_error("load_params: truncated file " + path);
 }
 
+void save_manifest(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_manifest: cannot open " + path);
+  for (const auto& [key, value] : entries) {
+    if (key.empty() || key.find_first_of(" \t\n") != std::string::npos) {
+      throw std::runtime_error("save_manifest: bad key '" + key + "'");
+    }
+    if (value.find('\n') != std::string::npos) {
+      throw std::runtime_error("save_manifest: value for '" + key +
+                               "' contains a newline");
+    }
+    out << key << ' ' << value << '\n';
+  }
+  if (!out) throw std::runtime_error("save_manifest: write failed for " + path);
+}
+
+std::vector<std::pair<std::string, std::string>> load_manifest(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_manifest: cannot open " + path);
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      throw std::runtime_error("load_manifest: " + path + ": line " +
+                               std::to_string(lineno) + ": expected 'key value'");
+    }
+    entries.emplace_back(line.substr(0, sp), line.substr(sp + 1));
+  }
+  return entries;
+}
+
 }  // namespace nettag

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/tensor.hpp"
@@ -16,5 +17,19 @@ void save_params(const std::string& path, const std::vector<Tensor>& params);
 /// Loads parameters saved by save_params into an *identically shaped*
 /// parameter list. Throws std::runtime_error on shape or I/O mismatch.
 void load_params(const std::string& path, const std::vector<Tensor>& params);
+
+/// Writes a "key value" text manifest, one pair per line, order preserved.
+/// Keys must be non-empty and contain no whitespace; values may contain
+/// spaces but no newlines. Used for checkpoint metadata (architecture
+/// description) next to the binary parameter files.
+void save_manifest(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& entries);
+
+/// Parses a manifest written by save_manifest. Blank lines and lines
+/// starting with '#' are skipped. Throws std::runtime_error on I/O failure
+/// or a line with no value.
+std::vector<std::pair<std::string, std::string>> load_manifest(
+    const std::string& path);
 
 }  // namespace nettag

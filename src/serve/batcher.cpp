@@ -1,0 +1,88 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace nettag::serve {
+
+Batcher::Batcher(Handler handler, std::size_t max_batch, BatchObserver observer)
+    : handler_(std::move(handler)),
+      observer_(std::move(observer)),
+      max_batch_(max_batch ? max_batch : 1),
+      worker_([this] { worker_loop(); }) {}
+
+Batcher::~Batcher() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<Response> Batcher::submit(Request request) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<Response> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void Batcher::pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void Batcher::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void Batcher::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || (!queue_.empty() && !paused_); });
+      if (queue_.empty() && stop_) return;
+      const std::size_t take = std::min(queue_.size(), max_batch_);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (observer_) observer_(batch.size());
+    // One parallel region per batch. Exceptions are absorbed per request so
+    // one poisoned input cannot abort its batchmates (or the daemon).
+    ThreadPool::instance().run_indexed(batch.size(), [&](std::size_t i) {
+      Response response;
+      try {
+        response = handler_(batch[i].request);
+      } catch (const std::exception& e) {
+        response.id = batch[i].request.id;
+        response.op = batch[i].request.op;
+        response.error = ErrorCode::kInternal;
+        response.error_message = e.what();
+      } catch (...) {
+        response.id = batch[i].request.id;
+        response.op = batch[i].request.op;
+        response.error = ErrorCode::kInternal;
+        response.error_message = "unknown exception";
+      }
+      batch[i].promise.set_value(std::move(response));
+    });
+  }
+}
+
+}  // namespace nettag::serve

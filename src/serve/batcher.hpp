@@ -1,0 +1,77 @@
+// Request batcher: groups concurrent submissions into one parallel region
+// over the shared thread pool (docs/ARCHITECTURE.md §7.2).
+//
+// Callers enqueue requests from any thread and get a future; one worker
+// thread drains the queue in arrival order, taking everything pending (up
+// to max_batch) as a batch and fanning the per-request handler out with
+// ThreadPool::run_indexed. The batcher worker is therefore the *only*
+// concurrent caller of run_indexed in the daemon — the pool's single-job
+// design is respected — and handlers that themselves use the pool (every
+// model forward does) nest inline per the pool's in_worker() contract, so
+// batched results are bit-identical to sequential execution.
+//
+// Under light traffic batches are size 1 and latency is unchanged; under
+// concurrent load the queue naturally fills while the previous batch
+// computes, so throughput approaches pool-width parallelism without any
+// artificial batching delay.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "serve/protocol.hpp"
+
+namespace nettag::serve {
+
+class Batcher {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+  using BatchObserver = std::function<void(std::size_t)>;  ///< batch size
+
+  /// `handler` runs per request, possibly on pool workers, and must be
+  /// thread-safe; exceptions it leaks become kInternal responses.
+  Batcher(Handler handler, std::size_t max_batch,
+          BatchObserver observer = nullptr);
+
+  /// Drains the queue, then joins the worker. Outstanding futures are
+  /// always fulfilled.
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Thread-safe enqueue; the future resolves when the batch containing
+  /// this request completes.
+  std::future<Response> submit(Request request);
+
+  /// Test hook: while paused the worker leaves the queue untouched, so a
+  /// burst of submits deterministically forms one batch on resume().
+  void pause();
+  void resume();
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+
+  const Handler handler_;
+  const BatchObserver observer_;
+  const std::size_t max_batch_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::thread worker_;
+};
+
+}  // namespace nettag::serve

@@ -1,0 +1,69 @@
+// Bounded content-addressed result cache for the serving layer.
+//
+// Keys are canonical-hash cache keys (serve/canonical.hpp); values are the
+// *rendered result bytes* of the original miss, so a hit replays a
+// byte-identical response (serving determinism contract) with zero model
+// work. LRU-bounded: embeddings for circuits nobody resubmits age out under
+// sustained traffic instead of growing the daemon without limit.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/lru.hpp"
+
+namespace nettag::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  explicit ResultCache(std::size_t max_entries) : map_(max_entries) {}
+
+  /// Copies the cached payload into *payload and promotes the entry.
+  /// Counts a hit or a miss either way.
+  bool lookup(const std::string& key, std::string* payload) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (const std::string* hit = map_.get(key)) {
+      ++hits_;
+      *payload = *hit;
+      return true;
+    }
+    ++misses_;
+    return false;
+  }
+
+  void insert(const std::string& key, std::string payload) {
+    std::lock_guard<std::mutex> lk(mu_);
+    evictions_ += map_.put(key, std::move(payload));
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.clear();
+  }
+
+  Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return Stats{map_.size(), map_.capacity(), hits_, misses_, evictions_};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LruMap<std::string, std::string> map_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace nettag::serve

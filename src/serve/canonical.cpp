@@ -1,0 +1,71 @@
+#include "serve/canonical.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace nettag::serve {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-distributed 64-bit mixing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+}  // namespace
+
+std::uint64_t structural_hash(const Netlist& nl, int rounds) {
+  const std::size_t n = nl.size();
+  std::vector<std::uint64_t> label(n), next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate& g = nl.gates()[i];
+    label[i] = mix64((static_cast<std::uint64_t>(g.type) << 1) |
+                     (g.is_primary_output ? 1u : 0u));
+  }
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Gate& g = nl.gates()[i];
+      std::uint64_t h = combine(0x5e17ae5e + static_cast<std::uint64_t>(r),
+                                label[i]);
+      for (GateId f : g.fanins) {
+        // Pin order matters (MUX2 select vs data, AOI/OAI groups); an
+        // unconnected register D pin hashes as a distinct sentinel.
+        h = combine(h, f == kNoGate ? 0xdeadull
+                                    : label[static_cast<std::size_t>(f)]);
+      }
+      next[i] = h;
+    }
+    label.swap(next);
+  }
+  // Fold the label multiset order-independently: sort, then chain-mix so the
+  // hash also depends on multiplicities and count.
+  std::sort(label.begin(), label.end());
+  std::uint64_t h = mix64(0x4e545447ull /* "NTTG" */ + n);
+  for (std::uint64_t l : label) h = combine(h, l);
+  return h;
+}
+
+std::string cache_key(const Netlist& nl, const char* op, int k_hop,
+                      std::size_t max_cone_gates, const std::string& task) {
+  std::string key = std::to_string(structural_hash(nl));
+  key += '|';
+  key += op;
+  key += '|';
+  key += std::to_string(k_hop);
+  key += '|';
+  key += std::to_string(max_cone_gates);
+  if (!task.empty()) {
+    key += '|';
+    key += task;
+  }
+  return key;
+}
+
+}  // namespace nettag::serve

@@ -1,0 +1,36 @@
+// Canonical structural hashing for the content-addressed result cache
+// (docs/ARCHITECTURE.md §7.2).
+//
+// The hash is computed by Weisfeiler-Lehman-style label refinement: each
+// gate starts from (cell type, primary-output flag), then absorbs its
+// fanins' labels *in pin order* (fanin order is functional for MUX/AOI/OAI
+// cells) for a fixed number of rounds; the circuit hash folds the sorted
+// multiset of final labels. Instance names and declaration order never enter
+// the hash, so an isomorphic resubmission (renamed or reordered netlist)
+// hits the cache, while any structural edit — cell swap, rewired pin,
+// swapped asymmetric fanins — changes it.
+//
+// This is a hash, not a canonical form: distinct circuits can collide, but
+// with 64-bit mixed labels plus the gate count folded in, collisions are
+// negligible next to the embedding-model noise floor (and a collision only
+// replays a cached embedding, it cannot crash the daemon).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace nettag::serve {
+
+/// WL-refinement hash over cell types + ordered fanins. `rounds` bounds the
+/// neighborhood radius each label absorbs; 3 distinguishes everything the
+/// generated corpus produces while staying O(rounds * edges).
+std::uint64_t structural_hash(const Netlist& nl, int rounds = 3);
+
+/// Full result-cache key: structural hash plus every request parameter that
+/// changes the answer (op, k_hop, cone cap, task head).
+std::string cache_key(const Netlist& nl, const char* op, int k_hop,
+                      std::size_t max_cone_gates, const std::string& task);
+
+}  // namespace nettag::serve

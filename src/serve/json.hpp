@@ -1,0 +1,86 @@
+// Minimal JSON document model for the serving wire protocol (no external
+// dependencies — the container bakes in nothing beyond the C++ toolchain).
+//
+// Scope: exactly what NDJSON request/response framing needs — objects,
+// arrays, strings, numbers, booleans, null. Objects preserve insertion
+// order so rendered responses are byte-deterministic (the result cache
+// stores rendered bytes and promises identical replays). Numbers are
+// doubles; floats widened to double render with %.9g, which round-trips
+// every float bit-exactly (serving determinism contract).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nettag::serve {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  Json(double n) : type_(Type::kNumber), num_(n) {}         // NOLINT
+  Json(int n) : type_(Type::kNumber), num_(n) {}            // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}    // NOLINT
+
+  static Json object();
+  static Json array();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  // --- readers (lenient: wrong-type access returns the fallback) -----------
+  std::string as_string(const std::string& fallback = "") const;
+  double as_number(double fallback = 0.0) const;
+  long long as_int(long long fallback = 0) const;
+  bool as_bool(bool fallback = false) const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  const std::vector<Json>& items() const { return arr_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  // --- builders ------------------------------------------------------------
+  /// Appends (or replaces) an object member. No-op unless object-typed.
+  Json& set(const std::string& key, Json value);
+  /// Appends an array element. No-op unless array-typed.
+  Json& push_back(Json value);
+
+  /// Compact single-line rendering (no whitespace), suitable for NDJSON.
+  std::string dump() const;
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  /// Returns false and fills *error on malformed input; *out is unspecified
+  /// then. Nesting deeper than 64 levels is rejected (adversarial inputs
+  /// must not blow the stack).
+  static bool parse(const std::string& text, Json* out, std::string* error);
+
+ private:
+  void dump_to(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/// Renders a double so the value round-trips exactly: integral values print
+/// as integers, everything else with enough significant digits for a float
+/// (%.9g). Shared by Json::dump and the hand-rolled matrix rendering.
+std::string json_number(double v);
+
+}  // namespace nettag::serve

@@ -1,0 +1,192 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+
+#include "analysis/diagnostic.hpp"  // json_escape
+
+namespace nettag::serve {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "invalid";
+    case Op::kPing: return "ping";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+    case Op::kEmbedGates: return "embed_gates";
+    case Op::kEmbedCone: return "embed_cone";
+    case Op::kEmbedCircuit: return "embed_circuit";
+    case Op::kPredict: return "predict";
+  }
+  return "invalid";
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadJson: return "bad_json";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kTooLarge: return "too_large";
+    case ErrorCode::kLintRejected: return "lint_rejected";
+    case ErrorCode::kUnknownTask: return "unknown_task";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+namespace {
+
+bool op_from_name(const std::string& name, Op* out) {
+  for (Op op : {Op::kPing, Op::kStats, Op::kShutdown, Op::kEmbedGates,
+                Op::kEmbedCone, Op::kEmbedCircuit, Op::kPredict}) {
+    if (name == op_name(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool needs_netlist(Op op) {
+  return op == Op::kEmbedGates || op == Op::kEmbedCone ||
+         op == Op::kEmbedCircuit || op == Op::kPredict;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  Request req;
+  Json doc;
+  std::string error;
+  if (!Json::parse(line, &doc, &error)) {
+    req.parse_error = ErrorCode::kBadJson;
+    req.parse_message = "request line is not valid JSON: " + error;
+    return req;
+  }
+  if (!doc.is_object()) {
+    req.parse_error = ErrorCode::kBadJson;
+    req.parse_message = "request must be a JSON object";
+    return req;
+  }
+  if (const Json* id = doc.find("id")) {
+    // Clients commonly send numeric ids; echo those back textually too.
+    req.id = id->is_string() ? id->as_string() : id->dump();
+  }
+  const Json* op = doc.find("op");
+  if (!op || !op->is_string()) {
+    req.parse_error = ErrorCode::kBadRequest;
+    req.parse_message = "missing string field 'op'";
+    return req;
+  }
+  if (!op_from_name(op->as_string(), &req.op)) {
+    req.op = Op::kInvalid;
+    req.parse_error = ErrorCode::kBadRequest;
+    req.parse_message = "unknown op '" + op->as_string() + "'";
+    return req;
+  }
+  if (const Json* nl = doc.find("netlist")) req.netlist_text = nl->as_string();
+  if (const Json* k = doc.find("k_hop")) {
+    req.k_hop = static_cast<int>(k->as_int());
+    if (req.k_hop < 0 || req.k_hop > 16) {
+      req.parse_error = ErrorCode::kBadRequest;
+      req.parse_message = "'k_hop' out of range [0,16]";
+      return req;
+    }
+  }
+  if (const Json* m = doc.find("max_cone_gates")) {
+    const long long v = m->as_int();
+    if (v < 1) {
+      req.parse_error = ErrorCode::kBadRequest;
+      req.parse_message = "'max_cone_gates' must be >= 1";
+      return req;
+    }
+    req.max_cone_gates = static_cast<std::size_t>(v);
+  }
+  if (const Json* t = doc.find("task")) req.task = t->as_string();
+  if (needs_netlist(req.op) && req.netlist_text.empty()) {
+    req.parse_error = ErrorCode::kBadRequest;
+    req.parse_message =
+        std::string("op '") + op_name(req.op) + "' requires field 'netlist'";
+    return req;
+  }
+  if (req.op == Op::kPredict && req.task.empty()) {
+    req.parse_error = ErrorCode::kBadRequest;
+    req.parse_message = "op 'predict' requires field 'task'";
+    return req;
+  }
+  return req;
+}
+
+std::string render_response(const Response& response) {
+  std::string out;
+  out.reserve(64 + response.result_json.size());
+  out += "{\"id\":\"";
+  out += json_escape(response.id);
+  out += "\",\"op\":\"";
+  out += op_name(response.op);
+  out += "\"";
+  if (response.ok()) {
+    out += ",\"status\":\"ok\",\"cached\":";
+    out += response.cached ? "true" : "false";
+    out += ",\"result\":";
+    out += response.result_json.empty() ? "{}" : response.result_json;
+  } else {
+    out += ",\"status\":\"error\",\"error\":{\"code\":\"";
+    out += error_code_name(response.error);
+    out += "\",\"message\":\"";
+    out += json_escape(response.error_message);
+    out += "\"";
+    if (!response.detail.empty()) {
+      out += ",\"detail\":[";
+      for (std::size_t i = 0; i < response.detail.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        out += json_escape(response.detail[i]);
+        out += '"';
+      }
+      out += ']';
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string mat_to_json(const Mat& m) {
+  std::string out;
+  out.reserve(16 + m.v.size() * 12);
+  out += "{\"rows\":";
+  out += std::to_string(m.rows);
+  out += ",\"cols\":";
+  out += std::to_string(m.cols);
+  out += ",\"data\":[";
+  char buf[40];
+  for (std::size_t i = 0; i < m.v.size(); ++i) {
+    if (i) out += ',';
+    std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(m.v[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool mat_from_json(const Json& j, Mat* out) {
+  const Json* rows = j.find("rows");
+  const Json* cols = j.find("cols");
+  const Json* data = j.find("data");
+  if (!rows || !cols || !data || !data->is_array()) return false;
+  const int r = static_cast<int>(rows->as_int());
+  const int c = static_cast<int>(cols->as_int());
+  if (r < 0 || c < 0 ||
+      data->items().size() != static_cast<std::size_t>(r) * static_cast<std::size_t>(c)) {
+    return false;
+  }
+  *out = Mat(r, c);
+  for (std::size_t i = 0; i < data->items().size(); ++i) {
+    if (!data->items()[i].is_number()) return false;
+    out->v[i] = static_cast<float>(data->items()[i].as_number());
+  }
+  return true;
+}
+
+}  // namespace nettag::serve

@@ -1,0 +1,106 @@
+// NetTAG-Serve wire protocol: newline-delimited JSON requests/responses
+// (docs/ARCHITECTURE.md §7.1 gives the grammar).
+//
+// Request line:
+//   {"id":"r1","op":"embed_gates","netlist":"module m ...\n...endmodule\n",
+//    "k_hop":2,"max_cone_gates":120,"task":"task2"}
+//
+//   op ∈ ping | stats | shutdown | embed_gates | embed_cone | embed_circuit
+//        | predict. `netlist` carries the structural format of netlist/io.hpp
+//   inside one JSON string; `k_hop` (0 = model default), `max_cone_gates`
+//   (embed_circuit cone cap) and `task` (predict head name) are optional.
+//
+// Response line (ok):
+//   {"id":"r1","op":"embed_gates","status":"ok","cached":false,"result":{...}}
+// Response line (error):
+//   {"id":"r1","op":"embed_gates","status":"error",
+//    "error":{"code":"lint_rejected","message":"...","detail":[...]}}
+//
+// Embedding results are *name-free* (matrices only): the result cache is
+// content-addressed over the canonical structural hash, so an isomorphic
+// resubmission under different instance names replays the identical bytes.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "serve/json.hpp"
+
+namespace nettag::serve {
+
+enum class Op {
+  kInvalid,  ///< unparseable line or unknown op; carries the parse error
+  kPing,
+  kStats,
+  kShutdown,
+  kEmbedGates,
+  kEmbedCone,
+  kEmbedCircuit,
+  kPredict,
+};
+
+const char* op_name(Op op);
+
+/// Structured error taxonomy (docs/ARCHITECTURE.md §7.3). Every failure is a
+/// per-request status — the daemon itself never exits nonzero on bad input.
+enum class ErrorCode {
+  kNone,
+  kBadJson,       ///< line is not a JSON object
+  kBadRequest,    ///< JSON fine; missing/unknown op or missing fields
+  kParseError,    ///< netlist text failed to parse (unknown cells included)
+  kTooLarge,      ///< netlist exceeds the admission gate size bound
+  kLintRejected,  ///< src/analysis admission gate found errors
+  kUnknownTask,   ///< predict against an unregistered task head
+  kInternal,      ///< unexpected exception (bug) — reported, not fatal
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct Request {
+  std::string id;
+  Op op = Op::kInvalid;
+  std::string netlist_text;         ///< netlist/io.hpp structural format
+  int k_hop = 0;                    ///< 0 = model default
+  std::size_t max_cone_gates = 120; ///< embed_circuit cone cap
+  std::string task;                 ///< predict: registered head name
+  /// Filled by parse_request when the line itself is bad; process() echoes
+  /// these back instead of doing work.
+  ErrorCode parse_error = ErrorCode::kNone;
+  std::string parse_message;
+  /// Stamped at submission; request latency = completion - t_start.
+  std::chrono::steady_clock::time_point t_start{};
+};
+
+struct Response {
+  std::string id;
+  Op op = Op::kInvalid;
+  ErrorCode error = ErrorCode::kNone;
+  std::string error_message;
+  std::vector<std::string> detail;  ///< e.g. lint diagnostics, one per line
+  /// Rendered result object ("{"..."}") for ok responses; exactly these
+  /// bytes are stored in / replayed from the result cache.
+  std::string result_json;
+  bool cached = false;
+
+  bool ok() const { return error == ErrorCode::kNone; }
+};
+
+/// Parses one NDJSON line. Never fails hard: malformed lines come back with
+/// op == kInvalid and parse_error/parse_message set, so the uniform batching
+/// path also carries the error responses.
+Request parse_request(const std::string& line);
+
+/// Renders one response line (no trailing newline).
+std::string render_response(const Response& response);
+
+/// Renders a matrix as {"rows":R,"cols":C,"data":[...]} with float-exact
+/// numbers (%.9g round-trips every float).
+std::string mat_to_json(const Mat& m);
+
+/// Parses mat_to_json output back into a Mat (testing / client side).
+/// Returns false on shape/data mismatch.
+bool mat_from_json(const Json& j, Mat* out);
+
+}  // namespace nettag::serve

@@ -1,0 +1,249 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "analysis/diagnostic.hpp"
+#include "netlist/io.hpp"
+#include "serve/canonical.hpp"
+#include "util/timer.hpp"
+
+namespace nettag::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Json cache_stats_json(const ResultCache::Stats& s) {
+  Json j = Json::object();
+  j.set("entries", static_cast<double>(s.entries));
+  j.set("capacity", static_cast<double>(s.capacity));
+  j.set("hits", static_cast<double>(s.hits));
+  j.set("misses", static_cast<double>(s.misses));
+  j.set("evictions", static_cast<double>(s.evictions));
+  j.set("hit_rate", s.hit_rate());
+  return j;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, std::unique_ptr<NetTag> model)
+    : config_(config),
+      model_(std::move(model)),
+      cache_(config.cache_entries) {
+  batcher_ = std::make_unique<Batcher>(
+      [this](const Request& request) { return process(request); },
+      config_.max_batch,
+      [this](std::size_t size) { metrics_.record_batch(size); });
+}
+
+Server::~Server() = default;
+
+void Server::register_task(const std::string& name, TaskFn fn) {
+  std::lock_guard<std::mutex> lk(tasks_mu_);
+  tasks_[name] = std::move(fn);
+}
+
+std::future<Response> Server::submit_async(Request request) {
+  if (request.t_start == std::chrono::steady_clock::time_point{}) {
+    request.t_start = std::chrono::steady_clock::now();
+  }
+  return batcher_->submit(std::move(request));
+}
+
+std::future<Response> Server::submit_line_async(const std::string& line) {
+  Request request = parse_request(line);
+  request.t_start = std::chrono::steady_clock::now();
+  return submit_async(std::move(request));
+}
+
+std::string Server::handle_line(const std::string& line) {
+  return render_response(submit_line_async(line).get());
+}
+
+bool Server::shutdown_requested() const {
+  return shutdown_.load(std::memory_order_relaxed);
+}
+
+std::string Server::render_stats() const {
+  Json j = snapshot_to_json(metrics_.snapshot());
+  j.set("result_cache", cache_stats_json(cache_.stats()));
+  const TextEmbeddingCache& tc = model_->text_cache();
+  Json text = Json::object();
+  text.set("entries", static_cast<double>(tc.size()));
+  text.set("capacity", static_cast<double>(tc.capacity()));
+  text.set("hits", static_cast<double>(tc.hits()));
+  text.set("misses", static_cast<double>(tc.misses()));
+  text.set("evictions", static_cast<double>(tc.evictions()));
+  const double total = static_cast<double>(tc.hits() + tc.misses());
+  text.set("hit_rate", total > 0 ? static_cast<double>(tc.hits()) / total : 0.0);
+  j.set("text_cache", std::move(text));
+  return j.dump();
+}
+
+Response Server::process(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.op = request.op;
+  switch (request.op) {
+    case Op::kInvalid:
+      response.error = request.parse_error == ErrorCode::kNone
+                           ? ErrorCode::kBadRequest
+                           : request.parse_error;
+      response.error_message = request.parse_message;
+      break;
+    case Op::kPing:
+      response.result_json = "{\"pong\":true}";
+      break;
+    case Op::kStats:
+      response.result_json = render_stats();
+      break;
+    case Op::kShutdown:
+      shutdown_.store(true, std::memory_order_relaxed);
+      response.result_json = "{\"shutting_down\":true}";
+      break;
+    default:
+      response = process_netlist_op(request);
+      break;
+  }
+  metrics_.record_request(response.ok(), seconds_since(request.t_start));
+  return response;
+}
+
+Response Server::process_netlist_op(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.op = request.op;
+
+  // Stage 1: parse the structural netlist text.
+  Timer t;
+  Netlist nl;
+  try {
+    nl = netlist_from_string(request.netlist_text);
+  } catch (const std::exception& e) {
+    metrics_.record_stage(Stage::kParse, t.seconds());
+    response.error = ErrorCode::kParseError;
+    response.error_message = e.what();
+    return response;
+  }
+  metrics_.record_stage(Stage::kParse, t.seconds());
+
+  // Stage 2: admission gate — size bound, then src/analysis lint.
+  if (nl.size() > config_.max_gates) {
+    response.error = ErrorCode::kTooLarge;
+    response.error_message =
+        "netlist has " + std::to_string(nl.size()) + " gates, limit is " +
+        std::to_string(config_.max_gates);
+    return response;
+  }
+  t.reset();
+  const LintReport lint = lint_netlist(nl, config_.lint);
+  metrics_.record_stage(Stage::kLint, t.seconds());
+  const bool rejected =
+      lint.has_errors() ||
+      (config_.reject_warnings && lint.count(Severity::kWarning) > 0);
+  if (rejected) {
+    response.error = ErrorCode::kLintRejected;
+    response.error_message =
+        "admission lint found " + std::to_string(lint.count(Severity::kError)) +
+        " error(s), " + std::to_string(lint.count(Severity::kWarning)) +
+        " warning(s)" + (config_.reject_warnings ? " (strict mode)" : "");
+    for (const Diagnostic& d : lint.diagnostics()) {
+      if (response.detail.size() >= 8) {
+        response.detail.push_back("... (" +
+                                  std::to_string(lint.size() - 8) + " more)");
+        break;
+      }
+      response.detail.push_back(std::string(severity_name(d.severity)) + " [" +
+                                d.rule + "] " + d.object + ": " + d.message);
+    }
+    return response;
+  }
+
+  // Predict needs a registered head; resolve before touching the cache so an
+  // unknown task never occupies an entry.
+  TaskFn task_fn;
+  if (request.op == Op::kPredict) {
+    std::lock_guard<std::mutex> lk(tasks_mu_);
+    auto it = tasks_.find(request.task);
+    if (it == tasks_.end()) {
+      response.error = ErrorCode::kUnknownTask;
+      response.error_message = "no task head registered under '" +
+                               request.task + "'";
+      return response;
+    }
+    task_fn = it->second;
+  }
+
+  // Stage 3: content-addressed cache.
+  const std::string key = cache_key(nl, op_name(request.op), request.k_hop,
+                                    request.max_cone_gates, request.task);
+  std::string payload;
+  if (cache_.lookup(key, &payload)) {
+    response.result_json = std::move(payload);
+    response.cached = true;
+    return response;
+  }
+
+  // Stage 4: model work, with per-stage timing fed back into metrics.
+  EmbedTiming timing;
+  switch (request.op) {
+    case Op::kEmbedGates: {
+      const NetTag::ConeEmbedding emb =
+          model_->embed(nl, request.k_hop, &timing);
+      payload = "{\"dim\":" + std::to_string(model_->embedding_dim()) +
+                ",\"nodes\":" + mat_to_json(emb.nodes) +
+                ",\"cls\":" + mat_to_json(emb.cls) + "}";
+      break;
+    }
+    case Op::kEmbedCone: {
+      const NetTag::ConeEmbedding emb =
+          model_->embed(nl, request.k_hop, &timing);
+      payload = "{\"dim\":" + std::to_string(model_->embedding_dim()) +
+                ",\"cls\":" + mat_to_json(emb.cls) + "}";
+      break;
+    }
+    case Op::kEmbedCircuit: {
+      const Mat circuit =
+          model_->embed_circuit(nl, request.max_cone_gates, &timing);
+      payload = "{\"dim\":" + std::to_string(model_->embedding_dim()) +
+                ",\"registers\":" + std::to_string(nl.registers().size()) +
+                ",\"circuit\":" + mat_to_json(circuit) + "}";
+      break;
+    }
+    case Op::kPredict: {
+      Timer task_timer;
+      const std::vector<double> scores = task_fn(*model_, nl);
+      // Head time is dominated by the embed inside task_fn; attribute it to
+      // the TAGFormer stage (the head itself is a few matmuls).
+      atomic_add_seconds(timing.tagformer, task_timer.seconds());
+      payload = "{\"task\":\"" + json_escape(request.task) + "\",\"scores\":[";
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (i) payload += ',';
+        payload += json_number(scores[i]);
+      }
+      payload += "]}";
+      break;
+    }
+    default:
+      response.error = ErrorCode::kInternal;
+      response.error_message = "unhandled op in process_netlist_op";
+      return response;
+  }
+  metrics_.record_stage(Stage::kTagBuild,
+                        timing.tag_build.load(std::memory_order_relaxed));
+  metrics_.record_stage(Stage::kTextEncode,
+                        timing.text_encode.load(std::memory_order_relaxed));
+  metrics_.record_stage(Stage::kTagFormer,
+                        timing.tagformer.load(std::memory_order_relaxed));
+
+  cache_.insert(key, payload);
+  response.result_json = std::move(payload);
+  response.cached = false;
+  return response;
+}
+
+}  // namespace nettag::serve

@@ -1,0 +1,104 @@
+// NetTAG-Serve: the inference server (docs/ARCHITECTURE.md §7).
+//
+// Owns one shared pre-trained NetTag model and answers embedding / task
+// prediction requests through three coordinated pieces:
+//   * admission — parse + size bound + src/analysis lint gate; rejected
+//     inputs become structured error responses, never crashes;
+//   * batching  — concurrent requests group into one thread-pool region
+//     (serve/batcher.hpp);
+//   * caching   — a bounded content-addressed result cache keyed by the
+//     canonical structural hash (serve/canonical.hpp), so isomorphic
+//     resubmissions replay byte-identical results without model work.
+//
+// The same object backs both transports: the in-process C++ client API
+// (submit / submit_async, used by tests and benches) and the NDJSON
+// stdin/stdout loop of tools/nettag_serve (submit_line_async +
+// render_response).
+#pragma once
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "core/nettag.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace nettag::serve {
+
+struct ServerConfig {
+  /// Admission bound: netlists above this many gates get kTooLarge.
+  std::size_t max_gates = 20000;
+  /// Result cache bound (entries; each entry is one rendered result).
+  std::size_t cache_entries = 256;
+  /// Largest request group one batch may take.
+  std::size_t max_batch = 32;
+  /// Strict admission: reject on lint *warnings* too (errors always reject).
+  bool reject_warnings = false;
+  /// Admission lint options (rule toggles, fanout bound).
+  LintOptions lint;
+};
+
+class Server {
+ public:
+  /// Takes ownership of a constructed (typically checkpoint-loaded) model.
+  Server(ServerConfig config, std::unique_ptr<NetTag> model);
+  ~Server();
+
+  const NetTag& model() const { return *model_; }
+  const ServerConfig& config() const { return config_; }
+
+  /// Fine-tuned task head hook: `fn` maps (shared model, admitted netlist)
+  /// to a score vector. Registered heads answer `predict` requests; results
+  /// are cached under the task name. `fn` must be thread-safe (heads only
+  /// read their trained weights).
+  using TaskFn =
+      std::function<std::vector<double>(const NetTag&, const Netlist&)>;
+  void register_task(const std::string& name, TaskFn fn);
+
+  // --- in-process client API ----------------------------------------------
+  std::future<Response> submit_async(Request request);
+  Response submit(Request request) { return submit_async(std::move(request)).get(); }
+
+  // --- wire API (NDJSON lines) --------------------------------------------
+  /// Parses one request line and enqueues it; malformed lines resolve to
+  /// structured error responses through the same path.
+  std::future<Response> submit_line_async(const std::string& line);
+  /// Convenience: parse, process, render one line synchronously.
+  std::string handle_line(const std::string& line);
+
+  /// Set once a shutdown request is processed; the stdio loop exits cleanly.
+  bool shutdown_requested() const;
+
+  ServeMetrics& metrics() { return metrics_; }
+  ResultCache& cache() { return cache_; }
+  /// Test hook for deterministic batch formation (Batcher::pause/resume).
+  Batcher& batcher() { return *batcher_; }
+
+ private:
+  /// Per-request handler: admission, cache, model work. Runs on pool
+  /// workers; everything it touches is internally synchronized.
+  Response process(const Request& request);
+  Response process_netlist_op(const Request& request);
+  std::string render_stats() const;
+
+  ServerConfig config_;
+  std::unique_ptr<NetTag> model_;
+  ServeMetrics metrics_;
+  ResultCache cache_;
+
+  mutable std::mutex tasks_mu_;
+  std::map<std::string, TaskFn> tasks_;
+
+  std::atomic<bool> shutdown_{false};
+  std::unique_ptr<Batcher> batcher_;  ///< last member: first destroyed
+};
+
+}  // namespace nettag::serve

@@ -2,7 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "core/nettag.hpp"
+#include "core/pretrain.hpp"
+#include "netlist/io.hpp"
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
 
@@ -65,6 +71,93 @@ TEST(Serialize, BadMagicRejected) {
   EXPECT_THROW(load_params("/tmp/nettag_ser_bad.bin", a.params()),
                std::runtime_error);
   std::remove("/tmp/nettag_ser_bad.bin");
+}
+
+TEST(Serialize, ManifestRoundTrip) {
+  const std::vector<std::pair<std::string, std::string>> entries = {
+      {"format", "nettag-ckpt-v1"},
+      {"out_dim", "48"},
+      {"note", "spaces are fine in values"},
+  };
+  save_manifest("/tmp/nettag_manifest_test.ckpt", entries);
+  const auto back = load_manifest("/tmp/nettag_manifest_test.ckpt");
+  EXPECT_EQ(back, entries);
+  std::remove("/tmp/nettag_manifest_test.ckpt");
+
+  EXPECT_THROW(load_manifest("/tmp/definitely_missing_manifest.ckpt"),
+               std::runtime_error);
+  EXPECT_THROW(save_manifest("/tmp/nettag_manifest_bad.ckpt",
+                             {{"bad key", "value"}}),
+               std::runtime_error);
+}
+
+TEST(Serialize, CheckpointRoundTripBitIdentical) {
+  // Pre-train briefly, checkpoint, reload into a *fresh* differently-seeded
+  // model, and require bit-identical embeddings — the serving daemon's
+  // correctness rests on this.
+  Rng rng(0xc0ffee);
+  CorpusOptions co;
+  co.designs_per_family = 1;
+  co.with_physical = false;
+  const Corpus corpus = build_corpus(co, rng);
+
+  NetTagConfig mc;
+  mc.expr_llm = TextEncoderConfig::tiny();
+  mc.tag_d_model = 32;
+  mc.out_dim = 24;
+  NetTag model(mc, 5);
+  PretrainOptions po;
+  po.expr_steps = 6;
+  po.tag_steps = 5;
+  po.aux_steps = 0;
+  po.max_expressions = 120;
+  po.max_cones = 12;
+  po.objective_align = false;
+  pretrain(model, corpus, po, rng);
+
+  const std::string prefix = "/tmp/nettag_ckpt_rt";
+  save_checkpoint(model, prefix);
+
+  const NetTagConfig readback = read_checkpoint_config(prefix);
+  EXPECT_EQ(readback.out_dim, mc.out_dim);
+  EXPECT_EQ(readback.tag_d_model, mc.tag_d_model);
+  EXPECT_EQ(readback.expr_llm.d_model, mc.expr_llm.d_model);
+
+  const std::unique_ptr<NetTag> loaded = load_checkpoint(prefix, /*seed=*/99);
+  const Netlist nl = netlist_from_string(
+      "module m source synthetic\nport a\nport b\n"
+      "gate AND2 g1 a b\ngate INV g2 g1 out\nendmodule\n");
+  const NetTag::ConeEmbedding want = model.embed(nl);
+  const NetTag::ConeEmbedding got = loaded->embed(nl);
+  ASSERT_EQ(want.nodes.v.size(), got.nodes.v.size());
+  for (std::size_t i = 0; i < want.nodes.v.size(); ++i) {
+    ASSERT_EQ(want.nodes.v[i], got.nodes.v[i]) << "node lane " << i;
+  }
+  for (std::size_t i = 0; i < want.cls.v.size(); ++i) {
+    ASSERT_EQ(want.cls.v[i], got.cls.v[i]) << "cls lane " << i;
+  }
+
+  const Netlist seq = netlist_from_string(
+      "module s source synthetic\nport d\nreg q\n"
+      "gate AND2 g1 d q out\ndrive q g1\nendmodule\n");
+  const Mat want_c = model.embed_circuit(seq);
+  const Mat got_c = loaded->embed_circuit(seq);
+  ASSERT_EQ(want_c.v.size(), got_c.v.size());
+  for (std::size_t i = 0; i < want_c.v.size(); ++i) {
+    ASSERT_EQ(want_c.v[i], got_c.v[i]) << "circuit lane " << i;
+  }
+
+  for (const char* suffix : {".ckpt", ".exprllm.bin", ".tagformer.bin"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(Serialize, CheckpointBadFormatRejected) {
+  save_manifest("/tmp/nettag_ckpt_badfmt.ckpt",
+                {{"format", "nettag-ckpt-v999"}});
+  EXPECT_THROW(read_checkpoint_config("/tmp/nettag_ckpt_badfmt"),
+               std::runtime_error);
+  std::remove("/tmp/nettag_ckpt_badfmt.ckpt");
 }
 
 }  // namespace

@@ -1,0 +1,441 @@
+// Tests for the NetTAG-Serve subsystem (src/serve): JSON wire format,
+// canonical structural hashing, the LRU primitives, and the full server —
+// batching, caching, admission gate, error taxonomy, and observability.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nettag.hpp"
+#include "netlist/io.hpp"
+#include "serve/canonical.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/lru.hpp"
+
+namespace nettag {
+namespace {
+
+using serve::ErrorCode;
+using serve::Json;
+using serve::Op;
+using serve::Request;
+using serve::Response;
+using serve::Server;
+using serve::ServerConfig;
+
+// --- util/lru ---------------------------------------------------------------
+
+TEST(LruMap, EvictsLeastRecentlyUsed) {
+  LruMap<int, int> lru(2);
+  EXPECT_EQ(lru.put(1, 10), 0u);
+  EXPECT_EQ(lru.put(2, 20), 0u);
+  ASSERT_NE(lru.get(1), nullptr);  // promotes 1; 2 is now oldest
+  EXPECT_EQ(lru.put(3, 30), 1u);
+  EXPECT_EQ(lru.get(2), nullptr);
+  ASSERT_NE(lru.get(1), nullptr);
+  EXPECT_EQ(*lru.get(1), 10);
+  ASSERT_NE(lru.get(3), nullptr);
+}
+
+TEST(LruMap, PutReplacesAndShrinkEvicts) {
+  LruMap<std::string, int> lru(4);
+  lru.put("a", 1);
+  lru.put("b", 2);
+  lru.put("a", 7);  // replace, no growth
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(*lru.get("a"), 7);
+  lru.put("c", 3);
+  lru.put("d", 4);
+  EXPECT_EQ(lru.set_capacity(2), 2u);  // evicts the two oldest
+  EXPECT_EQ(lru.size(), 2u);
+  EXPECT_EQ(lru.capacity(), 2u);
+}
+
+// --- serve/json -------------------------------------------------------------
+
+TEST(ServeJson, ParsesNestedDocument) {
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(
+      R"({"op":"embed","k":3,"flags":[true,null,-2.5],"msg":"a\"b\nc"})", &doc,
+      &err))
+      << err;
+  EXPECT_EQ(doc.find("op")->as_string(), "embed");
+  EXPECT_EQ(doc.find("k")->as_int(), 3);
+  ASSERT_TRUE(doc.find("flags")->is_array());
+  EXPECT_EQ(doc.find("flags")->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.find("flags")->items()[2].as_number(), -2.5);
+  EXPECT_EQ(doc.find("msg")->as_string(), "a\"b\nc");
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  Json doc;
+  std::string err;
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "[1,]", "{\"a\":1} trailing", "nul", "\"\\u12\""}) {
+    EXPECT_FALSE(Json::parse(bad, &doc, &err)) << bad;
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(ServeJson, DumpRoundTrips) {
+  Json obj = Json::object();
+  obj.set("n", 42);
+  obj.set("x", 1.5);
+  obj.set("s", "hi");
+  Json arr = Json::array();
+  arr.push_back(true);
+  arr.push_back(Json());
+  obj.set("a", std::move(arr));
+  Json back;
+  std::string err;
+  ASSERT_TRUE(Json::parse(obj.dump(), &back, &err)) << err;
+  EXPECT_EQ(back.find("n")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(back.find("x")->as_number(), 1.5);
+  EXPECT_EQ(back.find("s")->as_string(), "hi");
+  EXPECT_TRUE(back.find("a")->items()[0].as_bool());
+  EXPECT_TRUE(back.find("a")->items()[1].is_null());
+}
+
+TEST(ServeJson, NumberFormatting) {
+  EXPECT_EQ(serve::json_number(3.0), "3");
+  EXPECT_EQ(serve::json_number(-17.0), "-17");
+  EXPECT_EQ(serve::json_number(0.5), "0.5");
+}
+
+// --- serve/canonical --------------------------------------------------------
+
+const char* kAndNetlist =
+    "module m source synthetic\n"
+    "port a\nport b\n"
+    "gate AND2 g1 a b out\n"
+    "endmodule\n";
+
+// Same structure as kAndNetlist with every name changed.
+const char* kAndRenamed =
+    "module other source synthetic\n"
+    "port x\nport y\n"
+    "gate AND2 zz x y out\n"
+    "endmodule\n";
+
+const char* kOrNetlist =
+    "module m source synthetic\n"
+    "port a\nport b\n"
+    "gate OR2 g1 a b out\n"
+    "endmodule\n";
+
+TEST(Canonical, HashIsNameInvariant) {
+  const Netlist a = netlist_from_string(kAndNetlist);
+  const Netlist b = netlist_from_string(kAndRenamed);
+  EXPECT_EQ(serve::structural_hash(a), serve::structural_hash(b));
+}
+
+TEST(Canonical, HashSeparatesDifferentStructure) {
+  const Netlist a = netlist_from_string(kAndNetlist);
+  const Netlist b = netlist_from_string(kOrNetlist);
+  EXPECT_NE(serve::structural_hash(a), serve::structural_hash(b));
+}
+
+TEST(Canonical, HashIsFaninOrderSensitive) {
+  // MUX2 pins are (A, B, S): swapping distinguishable fanins (an inverter
+  // vs a port — two bare ports would just be a renaming) changes which pin
+  // carries which cone, and the hash must see it even though the gate
+  // multiset is identical.
+  const Netlist m1 = netlist_from_string(
+      "module m source synthetic\nport p\nport q\nport s\n"
+      "gate INV n1 p\ngate MUX2 g1 n1 q s out\nendmodule\n");
+  const Netlist m2 = netlist_from_string(
+      "module m source synthetic\nport p\nport q\nport s\n"
+      "gate INV n1 p\ngate MUX2 g1 q n1 s out\nendmodule\n");
+  EXPECT_NE(serve::structural_hash(m1), serve::structural_hash(m2));
+}
+
+TEST(Canonical, CacheKeyIncludesOpAndParams) {
+  const Netlist a = netlist_from_string(kAndNetlist);
+  EXPECT_NE(serve::cache_key(a, "embed_gates", 0, 120, ""),
+            serve::cache_key(a, "embed_cone", 0, 120, ""));
+  EXPECT_NE(serve::cache_key(a, "embed_gates", 0, 120, ""),
+            serve::cache_key(a, "embed_gates", 3, 120, ""));
+  EXPECT_NE(serve::cache_key(a, "predict", 0, 120, "area"),
+            serve::cache_key(a, "predict", 0, 120, "power"));
+}
+
+// --- serve/protocol ---------------------------------------------------------
+
+TEST(Protocol, ParseRequestErrorTaxonomy) {
+  EXPECT_EQ(serve::parse_request("garbage").parse_error, ErrorCode::kBadJson);
+  EXPECT_EQ(serve::parse_request("[1,2]").parse_error, ErrorCode::kBadJson);
+  EXPECT_EQ(serve::parse_request("{\"id\":\"x\"}").parse_error,
+            ErrorCode::kBadRequest);  // missing op
+  EXPECT_EQ(serve::parse_request("{\"op\":\"nope\"}").parse_error,
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(serve::parse_request("{\"op\":\"embed_gates\"}").parse_error,
+            ErrorCode::kBadRequest);  // missing netlist
+  EXPECT_EQ(serve::parse_request(
+                "{\"op\":\"embed_gates\",\"netlist\":\"m\",\"k_hop\":99}")
+                .parse_error,
+            ErrorCode::kBadRequest);
+  const Request ok = serve::parse_request(
+      "{\"id\":7,\"op\":\"ping\"}");
+  EXPECT_EQ(ok.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(ok.op, Op::kPing);
+  EXPECT_EQ(ok.id, "7");  // numeric ids echo textually
+}
+
+TEST(Protocol, MatJsonRoundTripIsBitExact) {
+  Mat m(2, 3);
+  m.v = {1.0f, -0.333333343f, 2.5e-7f, 3.14159274f, 0.0f, -1e9f};
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(serve::mat_to_json(m), &j, &err)) << err;
+  Mat back;
+  ASSERT_TRUE(serve::mat_from_json(j, &back));
+  ASSERT_EQ(back.rows, 2);
+  ASSERT_EQ(back.cols, 3);
+  for (std::size_t i = 0; i < m.v.size(); ++i) {
+    EXPECT_EQ(m.v[i], back.v[i]) << "lane " << i;  // %.9g round-trips floats
+  }
+}
+
+// --- model text cache (satellite: bounded LRU) ------------------------------
+
+TEST(TextCache, BoundedWithCounters) {
+  TextEmbeddingCache cache(2);
+  std::vector<float> row{1.0f, 2.0f};
+  std::vector<float> out;
+  EXPECT_FALSE(cache.lookup("a", &out));
+  cache.insert("a", row);
+  EXPECT_TRUE(cache.lookup("a", &out));
+  EXPECT_EQ(out, row);
+  cache.insert("b", {3.0f});
+  EXPECT_TRUE(cache.lookup("a", &out));  // promotes "a" over "b"
+  cache.insert("c", {4.0f});             // evicts "b", the least recent
+  EXPECT_FALSE(cache.lookup("b", &out));
+  EXPECT_TRUE(cache.lookup("a", &out));
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TextCache, ModelHonoursConfiguredBound) {
+  NetTagConfig cfg;
+  cfg.expr_llm = TextEncoderConfig::tiny();
+  cfg.text_cache_entries = 3;
+  const NetTag model(cfg, 11);
+  // Distinct structures → distinct attribute texts → distinct cache keys.
+  const char* texts[] = {
+      kAndNetlist, kOrNetlist,
+      "module m source synthetic\nport a\ngate INV g1 a out\nendmodule\n",
+      "module m source synthetic\nport a\nport b\ngate XOR2 g1 a b out\n"
+      "endmodule\n",
+  };
+  for (const char* t : texts) model.embed(netlist_from_string(t));
+  EXPECT_LE(model.text_cache().size(), 3u);
+  EXPECT_GT(model.text_cache().evictions(), 0u);
+}
+
+// --- server -----------------------------------------------------------------
+
+NetTagConfig tiny_config() {
+  NetTagConfig cfg;
+  cfg.expr_llm = TextEncoderConfig::tiny();
+  cfg.tag_d_model = 32;
+  cfg.out_dim = 24;
+  return cfg;
+}
+
+std::unique_ptr<Server> make_server(ServerConfig sc = {},
+                                    std::uint64_t seed = 21) {
+  return std::make_unique<Server>(
+      sc, std::make_unique<NetTag>(tiny_config(), seed));
+}
+
+Request embed_request(const char* text, Op op = Op::kEmbedGates) {
+  Request r;
+  r.op = op;
+  r.netlist_text = text;
+  return r;
+}
+
+TEST(Server, EmbedMatchesOfflineModelBitwise) {
+  auto server = make_server();
+  const NetTag offline(tiny_config(), 21);  // same seed → identical weights
+
+  const Response resp = server->submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(resp.ok()) << resp.error_message;
+  Json result;
+  std::string err;
+  ASSERT_TRUE(Json::parse(resp.result_json, &result, &err)) << err;
+  Mat nodes, cls;
+  ASSERT_TRUE(serve::mat_from_json(*result.find("nodes"), &nodes));
+  ASSERT_TRUE(serve::mat_from_json(*result.find("cls"), &cls));
+
+  const NetTag::ConeEmbedding ref =
+      offline.embed(netlist_from_string(kAndNetlist));
+  ASSERT_EQ(nodes.v.size(), ref.nodes.v.size());
+  for (std::size_t i = 0; i < ref.nodes.v.size(); ++i) {
+    EXPECT_EQ(nodes.v[i], ref.nodes.v[i]) << "node lane " << i;
+  }
+  ASSERT_EQ(cls.v.size(), ref.cls.v.size());
+  for (std::size_t i = 0; i < ref.cls.v.size(); ++i) {
+    EXPECT_EQ(cls.v[i], ref.cls.v[i]) << "cls lane " << i;
+  }
+}
+
+TEST(Server, CacheHitReplaysIdenticalBytesForIsomorphicInput) {
+  auto server = make_server();
+  const Response first = server->submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.cached);
+  // Renamed isomorphic netlist: same canonical hash → byte-identical replay.
+  const Response second = server->submit(embed_request(kAndRenamed));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(first.result_json, second.result_json);
+  EXPECT_EQ(server->cache().stats().hits, 1u);
+  EXPECT_EQ(server->cache().stats().misses, 1u);
+}
+
+TEST(Server, ErrorTaxonomyNeverThrows) {
+  ServerConfig sc;
+  sc.max_gates = 3;
+  sc.reject_warnings = true;
+  auto server = make_server(sc);
+
+  // bad_json / bad_request via the wire path.
+  Json resp;
+  std::string err;
+  ASSERT_TRUE(Json::parse(server->handle_line("{{{"), &resp, &err)) << err;
+  EXPECT_EQ(resp.find("error")->find("code")->as_string(), "bad_json");
+  ASSERT_TRUE(
+      Json::parse(server->handle_line("{\"op\":\"fly\"}"), &resp, &err));
+  EXPECT_EQ(resp.find("error")->find("code")->as_string(), "bad_request");
+
+  // parse_error: unknown cell type.
+  const Response bad_cell = server->submit(embed_request(
+      "module m source synthetic\nport a\ngate FOO g1 a out\nendmodule\n"));
+  EXPECT_EQ(bad_cell.error, ErrorCode::kParseError);
+  EXPECT_FALSE(bad_cell.error_message.empty());
+
+  // too_large: 4 gates > max_gates=3.
+  const Response big = server->submit(embed_request(
+      "module m source synthetic\nport a\nport b\ngate AND2 g1 a b\n"
+      "gate INV g2 g1 out\nendmodule\n"));
+  EXPECT_EQ(big.error, ErrorCode::kTooLarge);
+
+  // lint_rejected (strict mode): dead gate → NL004 floating-net warning.
+  ServerConfig small;
+  small.reject_warnings = true;
+  auto strict = make_server(small);
+  const Response dead = strict->submit(embed_request(
+      "module m source synthetic\nport a\nport b\ngate AND2 used a b out\n"
+      "gate OR2 dead a b\nendmodule\n"));
+  EXPECT_EQ(dead.error, ErrorCode::kLintRejected);
+  EXPECT_FALSE(dead.detail.empty());
+
+  // unknown_task — and it must not occupy a cache entry.
+  Request pr = embed_request(kAndNetlist, Op::kPredict);
+  pr.task = "unregistered";
+  EXPECT_EQ(strict->submit(std::move(pr)).error, ErrorCode::kUnknownTask);
+  EXPECT_EQ(strict->cache().stats().misses, 0u);
+}
+
+TEST(Server, LenientModeAdmitsWarnings) {
+  auto server = make_server();  // reject_warnings defaults to false
+  const Response dead = server->submit(embed_request(
+      "module m source synthetic\nport a\nport b\ngate AND2 used a b out\n"
+      "gate OR2 dead a b\nendmodule\n"));
+  EXPECT_TRUE(dead.ok()) << dead.error_message;
+}
+
+TEST(Server, BatcherGroupsConcurrentRequests) {
+  auto server = make_server();
+  server->batcher().pause();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.op = Op::kPing;
+    r.id = std::to_string(i);
+    futures.push_back(server->submit_async(std::move(r)));
+  }
+  server->batcher().resume();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  const auto snap = server->metrics().snapshot();
+  ASSERT_FALSE(snap.batch_histogram.empty());
+  // All six were queued before resume, so one batch of 6 must appear.
+  bool found = false;
+  for (const auto& [size, count] : snap.batch_histogram) {
+    if (size == 6 && count >= 1) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(snap.requests_total, 6u);
+  EXPECT_EQ(snap.requests_ok, 6u);
+}
+
+TEST(Server, PredictUsesRegisteredHead) {
+  auto server = make_server();
+  server->register_task("gate_count",
+                        [](const NetTag&, const Netlist& nl) {
+                          return std::vector<double>{
+                              static_cast<double>(nl.size())};
+                        });
+  Request r = embed_request(kAndNetlist, Op::kPredict);
+  r.task = "gate_count";
+  const Response resp = server->submit(std::move(r));
+  ASSERT_TRUE(resp.ok()) << resp.error_message;
+  Json result;
+  std::string err;
+  ASSERT_TRUE(Json::parse(resp.result_json, &result, &err)) << err;
+  EXPECT_EQ(result.find("task")->as_string(), "gate_count");
+  ASSERT_EQ(result.find("scores")->items().size(), 1u);
+  EXPECT_DOUBLE_EQ(result.find("scores")->items()[0].as_number(), 3.0);
+}
+
+TEST(Server, StatsExposeAllSections) {
+  auto server = make_server();
+  server->submit(embed_request(kAndNetlist));
+  server->submit(embed_request(kAndRenamed));  // cache hit
+  server->handle_line("{{{");                  // one error
+  Request sr;
+  sr.op = Op::kStats;
+  const Response stats = server->submit(std::move(sr));
+  ASSERT_TRUE(stats.ok());
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(stats.result_json, &j, &err)) << err;
+  for (const char* field :
+       {"uptime_seconds", "requests_total", "requests_ok", "requests_error",
+        "qps", "latency_ms", "batches", "batch_size_histogram",
+        "stage_seconds", "result_cache", "text_cache"}) {
+    EXPECT_NE(j.find(field), nullptr) << field;
+  }
+  for (const char* p : {"p50", "p90", "p99", "max"}) {
+    EXPECT_NE(j.find("latency_ms")->find(p), nullptr) << p;
+  }
+  for (const char* s :
+       {"parse", "lint", "tag_build", "text_encode", "tagformer"}) {
+    EXPECT_NE(j.find("stage_seconds")->find(s), nullptr) << s;
+  }
+  EXPECT_GT(j.find("result_cache")->find("hit_rate")->as_number(), 0.0);
+  EXPECT_GE(j.find("requests_error")->as_int(), 1);
+  EXPECT_GT(j.find("stage_seconds")->find("tagformer")->as_number(), 0.0);
+}
+
+TEST(Server, ShutdownSetsFlagAndStillAnswers) {
+  auto server = make_server();
+  EXPECT_FALSE(server->shutdown_requested());
+  const std::string line = server->handle_line("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(server->shutdown_requested());
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(line, &j, &err)) << err;
+  EXPECT_EQ(j.find("status")->as_string(), "ok");
+}
+
+}  // namespace
+}  // namespace nettag

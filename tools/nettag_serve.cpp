@@ -1,0 +1,229 @@
+// nettag_serve — the NetTAG embedding inference daemon.
+//
+// Modes:
+//   nettag_serve --model PREFIX [flags]   load `<PREFIX>.ckpt` (+ parameter
+//                                         files) and serve newline-delimited
+//                                         JSON requests on stdin, one JSON
+//                                         response line on stdout per request
+//                                         (docs/ARCHITECTURE.md §7.1)
+//   nettag_serve --train-demo PREFIX      build a small corpus, briefly
+//                                         pre-train a compact model, and save
+//                                         a checkpoint — the quickstart /
+//                                         CI-smoke path to a servable model
+//   nettag_serve --help                   usage (exit 0)
+//
+// Flags (serve):
+//   --max-gates N          admission size bound (default 20000)
+//   --cache-entries N      result-cache bound (default 256)
+//   --text-cache-entries N frozen-text-embedding cache bound (default 4096)
+//   --max-batch N          largest request batch (default 32)
+//   --reject-warnings      strict admission: lint warnings also reject
+//   --log FILE             append one "<op> <status> <ms>" line per request
+// Flags (train-demo):
+//   --seed S               generation/training seed (default 0x5eed)
+//   --designs N            designs per family (default 1)
+//
+// The daemon exits 0 on EOF or a `shutdown` request. Bad requests are
+// per-request error responses, never daemon failures. Batching: lines
+// already buffered on stdin are grouped into one batch (responses keep
+// submission order), so piping a request file exercises the batched path.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pretrain.hpp"
+#include "serve/server.hpp"
+#include "util/timer.hpp"
+
+using namespace nettag;
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: nettag_serve --model PREFIX [--max-gates N]\n"
+               "                    [--cache-entries N] [--text-cache-entries N]\n"
+               "                    [--max-batch N] [--reject-warnings]\n"
+               "                    [--log FILE]\n"
+               "       nettag_serve --train-demo PREFIX [--seed S] [--designs N]\n"
+               "       nettag_serve --help\n"
+               "\n"
+               "Serves gate/cone/circuit embeddings and task predictions for\n"
+               "a pre-trained NetTAG checkpoint over newline-delimited JSON\n"
+               "on stdin/stdout. See docs/ARCHITECTURE.md section 7 for the\n"
+               "protocol grammar, error taxonomy, and `stats` fields.\n");
+}
+
+int train_demo(const std::string& prefix, std::uint64_t seed, int designs) {
+  Rng rng(seed);
+  CorpusOptions co;
+  co.designs_per_family = designs;
+  co.with_physical = false;  // layout labels are not needed to serve embeddings
+  std::fprintf(stderr, "nettag_serve: building demo corpus...\n");
+  const Corpus corpus = build_corpus(co, rng);
+  NetTagConfig mc;
+  mc.expr_llm = TextEncoderConfig::tiny();
+  NetTag model(mc, seed ^ 0xabcd);
+  PretrainOptions po;
+  po.expr_steps = 12;
+  po.tag_steps = 10;
+  po.aux_steps = 0;
+  po.max_expressions = 200;
+  po.max_cones = 24;
+  po.objective_align = false;  // no physical data in the demo corpus
+  std::fprintf(stderr, "nettag_serve: pre-training demo checkpoint...\n");
+  Timer t;
+  const PretrainReport rep = pretrain(model, corpus, po, rng);
+  save_checkpoint(model, prefix);
+  std::fprintf(stderr,
+               "nettag_serve: saved %s.ckpt (+.exprllm.bin/.tagformer.bin) "
+               "after %.1fs; expr loss %.3f -> %.3f, tag loss %.3f -> %.3f\n",
+               prefix.c_str(), t.seconds(), rep.expr_loss_first,
+               rep.expr_loss_last, rep.tag_loss_first, rep.tag_loss_last);
+  return 0;
+}
+
+int run_serve(const std::string& prefix, serve::ServerConfig config,
+          std::size_t text_cache_entries, const std::string& log_path) {
+  std::unique_ptr<NetTag> model;
+  try {
+    model = load_checkpoint(prefix);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nettag_serve: cannot load checkpoint '%s': %s\n",
+                 prefix.c_str(), e.what());
+    return 2;
+  }
+  model->text_cache().set_capacity(text_cache_entries);
+
+  std::ofstream log;
+  if (!log_path.empty()) {
+    log.open(log_path, std::ios::app);
+    if (!log) {
+      std::fprintf(stderr, "nettag_serve: cannot open log file '%s'\n",
+                   log_path.c_str());
+      return 2;
+    }
+  }
+
+  serve::Server server(config, std::move(model));
+  std::fprintf(stderr,
+               "nettag_serve: model '%s' loaded (embedding dim %d); awaiting "
+               "NDJSON requests on stdin\n",
+               prefix.c_str(), server.model().embedding_dim());
+
+  // The wire transport is deliberately serial: one pipe is one client, and
+  // processing each line to completion before reading the next makes the
+  // response stream fully deterministic (a replayed request file always
+  // yields identical bytes, cache flags included). Concurrent batching is
+  // the in-process API's job — multi-threaded clients submitting through
+  // Server::submit_async group into shared pool regions via the Batcher.
+  std::string line;
+  while (!server.shutdown_requested() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Timer t;
+    const serve::Response response = server.submit_line_async(line).get();
+    std::cout << serve::render_response(response) << "\n";
+    std::cout.flush();
+    if (log) {
+      log << serve::op_name(response.op) << ' '
+          << (response.ok() ? "ok" : serve::error_code_name(response.error))
+          << ' ' << t.milliseconds() << "ms\n";
+      log.flush();
+    }
+  }
+  std::fprintf(stderr, "nettag_serve: %s, exiting\n",
+               server.shutdown_requested() ? "shutdown requested"
+                                           : "stdin closed");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_prefix, demo_prefix, log_path;
+  serve::ServerConfig config;
+  std::size_t text_cache_entries = TextEmbeddingCache::kDefaultEntries;
+  std::uint64_t seed = 0x5eed;
+  int designs = 1;
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "nettag_serve: %s requires a value\n", argv[i]);
+      usage(stderr);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  auto need_count = [&](int i) -> std::size_t {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(need_value(i), &end, 10);
+    if (!end || *end || v == 0) {
+      std::fprintf(stderr, "nettag_serve: %s needs a positive integer\n",
+                   argv[i]);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(v);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      usage(stdout);
+      return 0;
+    } else if (!std::strcmp(arg, "--model")) {
+      model_prefix = need_value(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--train-demo")) {
+      demo_prefix = need_value(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--max-gates")) {
+      config.max_gates = need_count(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--cache-entries")) {
+      config.cache_entries = need_count(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--text-cache-entries")) {
+      text_cache_entries = need_count(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--max-batch")) {
+      config.max_batch = need_count(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--reject-warnings")) {
+      config.reject_warnings = true;
+    } else if (!std::strcmp(arg, "--log")) {
+      log_path = need_value(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--seed")) {
+      seed = std::strtoull(need_value(i), nullptr, 0);
+      ++i;
+    } else if (!std::strcmp(arg, "--designs")) {
+      designs = std::atoi(need_value(i));
+      ++i;
+    } else {
+      std::fprintf(stderr, "nettag_serve: unknown flag %s\n", arg);
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (!demo_prefix.empty() && !model_prefix.empty()) {
+    std::fprintf(stderr,
+                 "nettag_serve: --model and --train-demo are exclusive\n");
+    return 2;
+  }
+  if (!demo_prefix.empty()) {
+    if (designs < 1) {
+      std::fprintf(stderr, "nettag_serve: --designs must be >= 1\n");
+      return 2;
+    }
+    return train_demo(demo_prefix, seed, designs);
+  }
+  if (model_prefix.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  return run_serve(model_prefix, config, text_cache_entries, log_path);
+}
