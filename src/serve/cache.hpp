@@ -3,7 +3,11 @@
 // Keys are canonical-hash cache keys (serve/canonical.hpp); values are the
 // *rendered result bytes* of the original miss, so a hit replays a
 // byte-identical response (serving determinism contract) with zero model
-// work. LRU-bounded: embeddings for circuits nobody resubmits age out under
+// work. Because the key is a lossy WL hash, every entry also stores the
+// exact canonical fingerprint of the netlist that produced it; a key hit
+// whose fingerprint differs is a hash collision and is served as a miss
+// (counted separately) rather than replaying the wrong circuit's result.
+// LRU-bounded: embeddings for circuits nobody resubmits age out under
 // sustained traffic instead of growing the daemon without limit.
 #pragma once
 
@@ -23,6 +27,7 @@ class ResultCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t collisions = 0;  ///< key hits rejected by fingerprint
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
       return total ? static_cast<double>(hits) / static_cast<double>(total)
@@ -32,22 +37,29 @@ class ResultCache {
 
   explicit ResultCache(std::size_t max_entries) : map_(max_entries) {}
 
-  /// Copies the cached payload into *payload and promotes the entry.
-  /// Counts a hit or a miss either way.
-  bool lookup(const std::string& key, std::string* payload) {
+  /// Copies the cached payload into *payload and promotes the entry — but
+  /// only when the stored fingerprint matches exactly; a mismatched key hit
+  /// is a WL collision and counts as a miss (plus the collision counter).
+  bool lookup(const std::string& key, const std::string& fingerprint,
+              std::string* payload) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (const std::string* hit = map_.get(key)) {
-      ++hits_;
-      *payload = *hit;
-      return true;
+    if (const Entry* hit = map_.get(key)) {
+      if (hit->fingerprint == fingerprint) {
+        ++hits_;
+        *payload = hit->payload;
+        return true;
+      }
+      ++collisions_;
     }
     ++misses_;
     return false;
   }
 
-  void insert(const std::string& key, std::string payload) {
+  void insert(const std::string& key, std::string fingerprint,
+              std::string payload) {
     std::lock_guard<std::mutex> lk(mu_);
-    evictions_ += map_.put(key, std::move(payload));
+    evictions_ += map_.put(key, Entry{std::move(fingerprint),
+                                      std::move(payload)});
   }
 
   void clear() {
@@ -57,13 +69,19 @@ class ResultCache {
 
   Stats stats() const {
     std::lock_guard<std::mutex> lk(mu_);
-    return Stats{map_.size(), map_.capacity(), hits_, misses_, evictions_};
+    return Stats{map_.size(), map_.capacity(), hits_,
+                 misses_,     evictions_,      collisions_};
   }
 
  private:
+  struct Entry {
+    std::string fingerprint;
+    std::string payload;
+  };
+
   mutable std::mutex mu_;
-  LruMap<std::string, std::string> map_;
-  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  LruMap<std::string, Entry> map_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, collisions_ = 0;
 };
 
 }  // namespace nettag::serve

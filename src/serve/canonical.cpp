@@ -1,6 +1,7 @@
 #include "serve/canonical.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 namespace nettag::serve {
@@ -19,9 +20,8 @@ std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
   return mix64(h ^ mix64(v));
 }
 
-}  // namespace
-
-std::uint64_t structural_hash(const Netlist& nl, int rounds) {
+/// Final WL labels after `rounds` of refinement (declaration-indexed).
+std::vector<std::uint64_t> wl_labels(const Netlist& nl, int rounds) {
   const std::size_t n = nl.size();
   std::vector<std::uint64_t> label(n), next(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -44,28 +44,76 @@ std::uint64_t structural_hash(const Netlist& nl, int rounds) {
     }
     label.swap(next);
   }
-  // Fold the label multiset order-independently: sort, then chain-mix so the
-  // hash also depends on multiplicities and count.
-  std::sort(label.begin(), label.end());
-  std::uint64_t h = mix64(0x4e545447ull /* "NTTG" */ + n);
+  return label;
+}
+
+}  // namespace
+
+std::uint64_t structural_hash(const Netlist& nl, int rounds,
+                              bool order_sensitive) {
+  std::vector<std::uint64_t> label = wl_labels(nl, rounds);
+  // Fold the labels with multiplicities and count chained in. Sorting makes
+  // the fold declaration-order-independent; per-node ops skip the sort so a
+  // reordered netlist (whose per-gate result rows would be misassigned on a
+  // replay) addresses a different entry.
+  if (!order_sensitive) std::sort(label.begin(), label.end());
+  std::uint64_t h = mix64(0x4e545447ull /* "NTTG" */ + nl.size());
   for (std::uint64_t l : label) h = combine(h, l);
   return h;
 }
 
-std::string cache_key(const Netlist& nl, const char* op, int k_hop,
-                      std::size_t max_cone_gates, const std::string& task) {
-  std::string key = std::to_string(structural_hash(nl));
-  key += '|';
-  key += op;
-  key += '|';
-  key += std::to_string(k_hop);
-  key += '|';
-  key += std::to_string(max_cone_gates);
-  if (!task.empty()) {
-    key += '|';
-    key += task;
+std::string canonical_fingerprint(const Netlist& nl, bool order_sensitive,
+                                  int rounds) {
+  const std::size_t n = nl.size();
+  // `order[r]` is the declaration index of the gate emitted at rank r;
+  // `rank[i]` inverts it so fanin references can be rewritten. In
+  // declaration-order mode both are the identity.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (!order_sensitive) {
+    const std::vector<std::uint64_t> label = wl_labels(nl, rounds);
+    std::stable_sort(order.begin(), order.end(),
+                     [&label](std::size_t a, std::size_t b) {
+                       return label[a] < label[b];
+                     });
   }
-  return key;
+  std::vector<std::size_t> rank(n);
+  for (std::size_t r = 0; r < n; ++r) rank[order[r]] = r;
+
+  std::string fp;
+  fp.reserve(16 + n * 12);
+  fp += std::to_string(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const Gate& g = nl.gates()[order[r]];
+    fp += ';';
+    fp += std::to_string(static_cast<int>(g.type));
+    if (g.is_primary_output) fp += '!';
+    for (GateId f : g.fanins) {
+      fp += ',';
+      fp += f == kNoGate ? "x"
+                         : std::to_string(rank[static_cast<std::size_t>(f)]);
+    }
+  }
+  return fp;
+}
+
+CacheKey cache_key(const Netlist& nl, const char* op, int k_hop,
+                   std::size_t max_cone_gates, const std::string& task,
+                   bool per_node_output) {
+  CacheKey out;
+  out.key = std::to_string(structural_hash(nl, 3, per_node_output));
+  out.key += '|';
+  out.key += op;
+  out.key += '|';
+  out.key += std::to_string(k_hop);
+  out.key += '|';
+  out.key += std::to_string(max_cone_gates);
+  if (!task.empty()) {
+    out.key += '|';
+    out.key += task;
+  }
+  out.fingerprint = canonical_fingerprint(nl, per_node_output);
+  return out;
 }
 
 }  // namespace nettag::serve

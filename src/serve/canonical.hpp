@@ -4,16 +4,28 @@
 // The hash is computed by Weisfeiler-Lehman-style label refinement: each
 // gate starts from (cell type, primary-output flag), then absorbs its
 // fanins' labels *in pin order* (fanin order is functional for MUX/AOI/OAI
-// cells) for a fixed number of rounds; the circuit hash folds the sorted
-// multiset of final labels. Instance names and declaration order never enter
-// the hash, so an isomorphic resubmission (renamed or reordered netlist)
-// hits the cache, while any structural edit — cell swap, rewired pin,
-// swapped asymmetric fanins — changes it.
+// cells) for a fixed number of rounds. Instance names never enter the hash.
+// How the final labels are folded depends on what the cached result looks
+// like:
 //
-// This is a hash, not a canonical form: distinct circuits can collide, but
-// with 64-bit mixed labels plus the gate count folded in, collisions are
-// negligible next to the embedding-model noise floor (and a collision only
-// replays a cached embedding, it cannot crash the daemon).
+//   * order-insensitive ops (embed_cone, embed_circuit, predict) return
+//     pooled values with no per-gate rows, so the fold sorts the label
+//     multiset and an isomorphic resubmission with *reordered* gate
+//     declarations may still hit;
+//   * per-node ops (embed_gates) return one matrix row per gate in
+//     declaration order, so the fold keeps declaration order: a reordered
+//     isomorphic netlist gets a different key and recomputes rather than
+//     receiving rows assigned to the wrong gates. Renaming alone still hits.
+//
+// WL refinement with a bounded round count is NOT an isomorphism invariant:
+// structurally distinct circuits whose gates all share identical
+// bounded-radius neighborhoods (e.g. one long ring of identical cells vs.
+// two shorter ones) collide deterministically, not with negligible random
+// probability. The cache therefore never trusts the hash alone: every entry
+// stores the exact canonical fingerprint of the netlist that produced it
+// (canonical_fingerprint below), and a key hit whose fingerprint differs is
+// treated as a miss. A collision can cost a recompute; it can never replay
+// the wrong circuit's result.
 #pragma once
 
 #include <cstdint>
@@ -26,11 +38,39 @@ namespace nettag::serve {
 /// WL-refinement hash over cell types + ordered fanins. `rounds` bounds the
 /// neighborhood radius each label absorbs; 3 distinguishes everything the
 /// generated corpus produces while staying O(rounds * edges).
-std::uint64_t structural_hash(const Netlist& nl, int rounds = 3);
+/// `order_sensitive` selects the final fold: false sorts the label multiset
+/// (reordered isomorphic netlists collide on purpose), true folds labels in
+/// gate declaration order (required when the cached payload has per-gate
+/// rows keyed by declaration position).
+std::uint64_t structural_hash(const Netlist& nl, int rounds = 3,
+                              bool order_sensitive = false);
 
-/// Full result-cache key: structural hash plus every request parameter that
-/// changes the answer (op, k_hop, cone cap, task head).
-std::string cache_key(const Netlist& nl, const char* op, int k_hop,
-                      std::size_t max_cone_gates, const std::string& task);
+/// Exact serialization of the netlist structure, used to verify cache hits
+/// (a WL hash collision must read as a miss, not replay a wrong result).
+/// With `order_sensitive` false, gates are emitted in a canonical order
+/// derived from their final WL labels, so renamed *and* reordered isomorphic
+/// netlists fingerprint identically when the labels fully separate the
+/// gates; label ties fall back to declaration order, which can only turn a
+/// would-be hit into a safe miss. With `order_sensitive` true, gates are
+/// emitted in declaration order. Names never appear.
+std::string canonical_fingerprint(const Netlist& nl, bool order_sensitive,
+                                  int rounds = 3);
+
+/// Result-cache addressing for one request: `key` is the fast lookup key
+/// (structural hash plus every request parameter that changes the answer —
+/// op, k_hop, cone cap, task head); `fingerprint` is the exact discriminator
+/// the cache compares on a key hit.
+struct CacheKey {
+  std::string key;
+  std::string fingerprint;
+};
+
+/// Builds the cache key for a request. `per_node_output` must be true for
+/// ops whose result carries one row per gate in declaration order
+/// (embed_gates); it switches both the hash fold and the fingerprint to
+/// declaration order.
+CacheKey cache_key(const Netlist& nl, const char* op, int k_hop,
+                   std::size_t max_cone_gates, const std::string& task,
+                   bool per_node_output);
 
 }  // namespace nettag::serve

@@ -1,6 +1,7 @@
 #include "serve/json.hpp"
 
 #include <cctype>
+#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +31,15 @@ double Json::as_number(double fallback) const {
 }
 
 long long Json::as_int(long long fallback) const {
-  return type_ == Type::kNumber ? static_cast<long long>(num_) : fallback;
+  if (type_ != Type::kNumber) return fallback;
+  // Casting a double outside [LLONG_MIN, LLONG_MAX] (or NaN) to long long is
+  // undefined behavior, and hostile request lines can carry 1e300 — saturate
+  // instead. 2^63 is exactly representable as a double, so >= is the right
+  // upper comparison (LLONG_MAX itself rounds up to 2^63 when widened).
+  if (std::isnan(num_)) return fallback;
+  if (num_ >= 9223372036854775808.0 /* 2^63 */) return LLONG_MAX;
+  if (num_ < -9223372036854775808.0 /* -2^63 */) return LLONG_MIN;
+  return static_cast<long long>(num_);
 }
 
 bool Json::as_bool(bool fallback) const {

@@ -38,9 +38,13 @@ class Json {
   bool is_number() const { return type_ == Type::kNumber; }
   bool is_bool() const { return type_ == Type::kBool; }
 
-  // --- readers (lenient: wrong-type access returns the fallback) -----------
+  // --- readers (lenient: wrong-type access returns the fallback; callers
+  // that must distinguish "absent/mistyped" from "default value" check
+  // is_*() first — parse_request rejects mistyped request fields) ----------
   std::string as_string(const std::string& fallback = "") const;
   double as_number(double fallback = 0.0) const;
+  /// NaN returns the fallback; values beyond long long saturate to
+  /// LLONG_MIN/LLONG_MAX (the raw cast would be undefined behavior).
   long long as_int(long long fallback = 0) const;
   bool as_bool(bool fallback = false) const;
 

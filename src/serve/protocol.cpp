@@ -1,6 +1,8 @@
 #include "serve/protocol.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "analysis/diagnostic.hpp"  // json_escape
 
@@ -84,25 +86,42 @@ Request parse_request(const std::string& line) {
     req.parse_message = "unknown op '" + op->as_string() + "'";
     return req;
   }
-  if (const Json* nl = doc.find("netlist")) req.netlist_text = nl->as_string();
-  if (const Json* k = doc.find("k_hop")) {
-    req.k_hop = static_cast<int>(k->as_int());
-    if (req.k_hop < 0 || req.k_hop > 16) {
+  // A present-but-mistyped field is a client error, never a silent default:
+  // {"k_hop":"3"} must not run with k_hop=0 (and cache that result).
+  if (const Json* nl = doc.find("netlist")) {
+    if (!nl->is_string()) {
       req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'k_hop' out of range [0,16]";
+      req.parse_message = "'netlist' must be a string";
       return req;
     }
+    req.netlist_text = nl->as_string();
+  }
+  if (const Json* k = doc.find("k_hop")) {
+    const double v = k->as_number(-1.0);
+    if (!k->is_number() || v != std::floor(v) || v < 0 || v > 16) {
+      req.parse_error = ErrorCode::kBadRequest;
+      req.parse_message = "'k_hop' must be an integer in [0,16]";
+      return req;
+    }
+    req.k_hop = static_cast<int>(v);
   }
   if (const Json* m = doc.find("max_cone_gates")) {
-    const long long v = m->as_int();
-    if (v < 1) {
+    const double v = m->as_number(0.0);
+    if (!m->is_number() || v != std::floor(v) || v < 1) {
       req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'max_cone_gates' must be >= 1";
+      req.parse_message = "'max_cone_gates' must be an integer >= 1";
       return req;
     }
-    req.max_cone_gates = static_cast<std::size_t>(v);
+    req.max_cone_gates = static_cast<std::size_t>(m->as_int());
   }
-  if (const Json* t = doc.find("task")) req.task = t->as_string();
+  if (const Json* t = doc.find("task")) {
+    if (!t->is_string()) {
+      req.parse_error = ErrorCode::kBadRequest;
+      req.parse_message = "'task' must be a string";
+      return req;
+    }
+    req.task = t->as_string();
+  }
   if (needs_netlist(req.op) && req.netlist_text.empty()) {
     req.parse_error = ErrorCode::kBadRequest;
     req.parse_message =
@@ -174,9 +193,18 @@ bool mat_from_json(const Json& j, Mat* out) {
   const Json* rows = j.find("rows");
   const Json* cols = j.find("cols");
   const Json* data = j.find("data");
-  if (!rows || !cols || !data || !data->is_array()) return false;
-  const int r = static_cast<int>(rows->as_int());
-  const int c = static_cast<int>(cols->as_int());
+  if (!rows || !cols || !data || !rows->is_number() || !cols->is_number() ||
+      !data->is_array()) {
+    return false;
+  }
+  const long long rl = rows->as_int(-1);
+  const long long cl = cols->as_int(-1);
+  if (rl < 0 || cl < 0 || rl > std::numeric_limits<int>::max() ||
+      cl > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  const int r = static_cast<int>(rl);
+  const int c = static_cast<int>(cl);
   if (r < 0 || c < 0 ||
       data->items().size() != static_cast<std::size_t>(r) * static_cast<std::size_t>(c)) {
     return false;

@@ -24,6 +24,7 @@ Json cache_stats_json(const ResultCache::Stats& s) {
   j.set("hits", static_cast<double>(s.hits));
   j.set("misses", static_cast<double>(s.misses));
   j.set("evictions", static_cast<double>(s.evictions));
+  j.set("collisions", static_cast<double>(s.collisions));
   j.set("hit_rate", s.hit_rate());
   return j;
 }
@@ -88,11 +89,18 @@ Response Server::process(const Request& request) {
   Response response;
   response.id = request.id;
   response.op = request.op;
+  // A request-level parse/validation error short-circuits everything, even
+  // when the op itself was recognized (e.g. a mistyped or out-of-range
+  // field on an embed request must never reach the cache or the model).
+  if (request.parse_error != ErrorCode::kNone) {
+    response.error = request.parse_error;
+    response.error_message = request.parse_message;
+    metrics_.record_request(false, seconds_since(request.t_start));
+    return response;
+  }
   switch (request.op) {
     case Op::kInvalid:
-      response.error = request.parse_error == ErrorCode::kNone
-                           ? ErrorCode::kBadRequest
-                           : request.parse_error;
+      response.error = ErrorCode::kBadRequest;
       response.error_message = request.parse_message;
       break;
     case Op::kPing:
@@ -178,11 +186,16 @@ Response Server::process_netlist_op(const Request& request) {
     task_fn = it->second;
   }
 
-  // Stage 3: content-addressed cache.
-  const std::string key = cache_key(nl, op_name(request.op), request.k_hop,
-                                    request.max_cone_gates, request.task);
+  // Stage 3: content-addressed cache. embed_gates returns one row per gate
+  // in declaration order, so its key and fingerprint are declaration-order
+  // sensitive — a reordered isomorphic netlist recomputes instead of
+  // receiving rows assigned to the wrong gates.
+  const CacheKey key =
+      cache_key(nl, op_name(request.op), request.k_hop,
+                request.max_cone_gates, request.task,
+                /*per_node_output=*/request.op == Op::kEmbedGates);
   std::string payload;
-  if (cache_.lookup(key, &payload)) {
+  if (cache_.lookup(key.key, key.fingerprint, &payload)) {
     response.result_json = std::move(payload);
     response.cached = true;
     return response;
@@ -240,7 +253,7 @@ Response Server::process_netlist_op(const Request& request) {
   metrics_.record_stage(Stage::kTagFormer,
                         timing.tagformer.load(std::memory_order_relaxed));
 
-  cache_.insert(key, payload);
+  cache_.insert(key.key, key.fingerprint, payload);
   response.result_json = std::move(payload);
   response.cached = false;
   return response;

@@ -8,8 +8,11 @@
 #include <string>
 #include <vector>
 
+#include <limits>
+
 #include "core/nettag.hpp"
 #include "netlist/io.hpp"
+#include "serve/cache.hpp"
 #include "serve/canonical.hpp"
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
@@ -107,6 +110,19 @@ TEST(ServeJson, NumberFormatting) {
   EXPECT_EQ(serve::json_number(0.5), "0.5");
 }
 
+TEST(ServeJson, AsIntSaturatesInsteadOfUndefinedCast) {
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(R"({"big":1e300,"small":-1e300,"k":3})", &doc, &err))
+      << err;
+  EXPECT_EQ(doc.find("big")->as_int(),
+            std::numeric_limits<long long>::max());
+  EXPECT_EQ(doc.find("small")->as_int(),
+            std::numeric_limits<long long>::min());
+  EXPECT_EQ(doc.find("k")->as_int(), 3);
+  EXPECT_EQ(Json("nope").as_int(7), 7);  // wrong type → fallback
+}
+
 // --- serve/canonical --------------------------------------------------------
 
 const char* kAndNetlist =
@@ -154,14 +170,79 @@ TEST(Canonical, HashIsFaninOrderSensitive) {
   EXPECT_NE(serve::structural_hash(m1), serve::structural_hash(m2));
 }
 
+// Two independent gates off the same ports; the two variants differ only in
+// gate declaration order (isomorphic, reordered).
+const char* kPairAB =
+    "module m source synthetic\n"
+    "port a\nport b\n"
+    "gate AND2 g1 a b out\n"
+    "gate OR2 g2 a b out\n"
+    "endmodule\n";
+
+const char* kPairBA =
+    "module m source synthetic\n"
+    "port a\nport b\n"
+    "gate OR2 g2 a b out\n"
+    "gate AND2 g1 a b out\n"
+    "endmodule\n";
+
+TEST(Canonical, OrderSensitiveFoldSeparatesReorderedDeclarations) {
+  const Netlist ab = netlist_from_string(kPairAB);
+  const Netlist ba = netlist_from_string(kPairBA);
+  // Pooled results may be shared across reordering...
+  EXPECT_EQ(serve::structural_hash(ab), serve::structural_hash(ba));
+  // ...but per-node results are declaration-ordered, so the order-sensitive
+  // fold must address them separately.
+  EXPECT_NE(serve::structural_hash(ab, 3, true),
+            serve::structural_hash(ba, 3, true));
+  // Renaming alone never affects either fold.
+  const Netlist a1 = netlist_from_string(kAndNetlist);
+  const Netlist a2 = netlist_from_string(kAndRenamed);
+  EXPECT_EQ(serve::structural_hash(a1, 3, true),
+            serve::structural_hash(a2, 3, true));
+}
+
+TEST(Canonical, FingerprintIsExactPerOrderMode) {
+  const Netlist ab = netlist_from_string(kPairAB);
+  const Netlist ba = netlist_from_string(kPairBA);
+  // Canonical (label-sorted) order makes reordered isomorphic netlists
+  // fingerprint identically; declaration order keeps them apart.
+  EXPECT_EQ(serve::canonical_fingerprint(ab, false),
+            serve::canonical_fingerprint(ba, false));
+  EXPECT_NE(serve::canonical_fingerprint(ab, true),
+            serve::canonical_fingerprint(ba, true));
+  // Renaming never enters the fingerprint; structure always does.
+  EXPECT_EQ(serve::canonical_fingerprint(netlist_from_string(kAndNetlist), true),
+            serve::canonical_fingerprint(netlist_from_string(kAndRenamed), true));
+  EXPECT_NE(serve::canonical_fingerprint(netlist_from_string(kAndNetlist), false),
+            serve::canonical_fingerprint(netlist_from_string(kOrNetlist), false));
+}
+
 TEST(Canonical, CacheKeyIncludesOpAndParams) {
   const Netlist a = netlist_from_string(kAndNetlist);
-  EXPECT_NE(serve::cache_key(a, "embed_gates", 0, 120, ""),
-            serve::cache_key(a, "embed_cone", 0, 120, ""));
-  EXPECT_NE(serve::cache_key(a, "embed_gates", 0, 120, ""),
-            serve::cache_key(a, "embed_gates", 3, 120, ""));
-  EXPECT_NE(serve::cache_key(a, "predict", 0, 120, "area"),
-            serve::cache_key(a, "predict", 0, 120, "power"));
+  EXPECT_NE(serve::cache_key(a, "embed_gates", 0, 120, "", true).key,
+            serve::cache_key(a, "embed_cone", 0, 120, "", false).key);
+  EXPECT_NE(serve::cache_key(a, "embed_gates", 0, 120, "", true).key,
+            serve::cache_key(a, "embed_gates", 3, 120, "", true).key);
+  EXPECT_NE(serve::cache_key(a, "predict", 0, 120, "area", false).key,
+            serve::cache_key(a, "predict", 0, 120, "power", false).key);
+}
+
+// --- serve/cache ------------------------------------------------------------
+
+TEST(ResultCache, KeyCollisionRejectedByFingerprint) {
+  serve::ResultCache cache(4);
+  cache.insert("k", "fp-a", "payload-a");
+  std::string out;
+  EXPECT_TRUE(cache.lookup("k", "fp-a", &out));
+  EXPECT_EQ(out, "payload-a");
+  // Same key, different exact structure: a WL hash collision must read as a
+  // miss, never replay the other circuit's payload.
+  EXPECT_FALSE(cache.lookup("k", "fp-b", &out));
+  const serve::ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.collisions, 1u);
 }
 
 // --- serve/protocol ---------------------------------------------------------
@@ -184,6 +265,28 @@ TEST(Protocol, ParseRequestErrorTaxonomy) {
   EXPECT_EQ(ok.parse_error, ErrorCode::kNone);
   EXPECT_EQ(ok.op, Op::kPing);
   EXPECT_EQ(ok.id, "7");  // numeric ids echo textually
+}
+
+TEST(Protocol, MistypedFieldsAreRejectedNotDefaulted) {
+  // A present-but-wrong-typed field must be bad_request, not a silent
+  // default parameter (which would also poison the result cache).
+  for (const char* bad : {
+           R"({"op":"embed_gates","netlist":123})",
+           R"({"op":"embed_gates","netlist":"m","k_hop":"3"})",
+           R"({"op":"embed_gates","netlist":"m","k_hop":1.5})",
+           R"({"op":"embed_gates","netlist":"m","k_hop":1e300})",
+           R"({"op":"embed_circuit","netlist":"m","max_cone_gates":true})",
+           R"({"op":"embed_circuit","netlist":"m","max_cone_gates":2.5})",
+           R"({"op":"predict","netlist":"m","task":7})",
+       }) {
+    EXPECT_EQ(serve::parse_request(bad).parse_error, ErrorCode::kBadRequest)
+        << bad;
+  }
+  const Request ok = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m","k_hop":3,"max_cone_gates":64})");
+  EXPECT_EQ(ok.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(ok.k_hop, 3);
+  EXPECT_EQ(ok.max_cone_gates, 64u);
 }
 
 TEST(Protocol, MatJsonRoundTripIsBitExact) {
@@ -301,6 +404,43 @@ TEST(Server, CacheHitReplaysIdenticalBytesForIsomorphicInput) {
   EXPECT_EQ(server->cache().stats().misses, 1u);
 }
 
+TEST(Server, ReorderedIsomorphicNetlistRecomputesPerGateRows) {
+  auto server = make_server();
+  const NetTag offline(tiny_config(), 21);
+
+  const Response first = server->submit(embed_request(kPairAB));
+  ASSERT_TRUE(first.ok()) << first.error_message;
+  EXPECT_FALSE(first.cached);
+
+  // Same circuit with the two gates declared in the opposite order: a cached
+  // replay would hand each gate the other's embedding row, so embed_gates
+  // must miss and recompute against the submitted declaration order.
+  const Response second = server->submit(embed_request(kPairBA));
+  ASSERT_TRUE(second.ok()) << second.error_message;
+  EXPECT_FALSE(second.cached);
+  Json result;
+  std::string err;
+  ASSERT_TRUE(Json::parse(second.result_json, &result, &err)) << err;
+  Mat nodes;
+  ASSERT_TRUE(serve::mat_from_json(*result.find("nodes"), &nodes));
+  const NetTag::ConeEmbedding ref =
+      offline.embed(netlist_from_string(kPairBA));
+  ASSERT_EQ(nodes.v.size(), ref.nodes.v.size());
+  for (std::size_t i = 0; i < ref.nodes.v.size(); ++i) {
+    EXPECT_EQ(nodes.v[i], ref.nodes.v[i]) << "node lane " << i;
+  }
+
+  // Pooled ops carry no per-gate rows, so they may still share across the
+  // reordering (fingerprints agree via canonical label order).
+  const Response c1 = server->submit(embed_request(kPairAB, Op::kEmbedCone));
+  ASSERT_TRUE(c1.ok()) << c1.error_message;
+  const Response c2 = server->submit(embed_request(kPairBA, Op::kEmbedCone));
+  ASSERT_TRUE(c2.ok()) << c2.error_message;
+  EXPECT_TRUE(c2.cached);
+  EXPECT_EQ(c1.result_json, c2.result_json);
+  EXPECT_EQ(server->cache().stats().collisions, 0u);
+}
+
 TEST(Server, ErrorTaxonomyNeverThrows) {
   ServerConfig sc;
   sc.max_gates = 3;
@@ -315,6 +455,16 @@ TEST(Server, ErrorTaxonomyNeverThrows) {
   ASSERT_TRUE(
       Json::parse(server->handle_line("{\"op\":\"fly\"}"), &resp, &err));
   EXPECT_EQ(resp.find("error")->find("code")->as_string(), "bad_request");
+
+  // bad_request on a *recognized* op with an invalid field: the request
+  // must short-circuit before the netlist reader, cache, or model see it.
+  ASSERT_TRUE(Json::parse(
+      server->handle_line(
+          R"({"op":"embed_gates","netlist":"m","k_hop":"3"})"),
+      &resp, &err));
+  EXPECT_EQ(resp.find("status")->as_string(), "error");
+  EXPECT_EQ(resp.find("error")->find("code")->as_string(), "bad_request");
+  EXPECT_EQ(server->cache().stats().misses, 0u);
 
   // parse_error: unknown cell type.
   const Response bad_cell = server->submit(embed_request(
@@ -422,6 +572,7 @@ TEST(Server, StatsExposeAllSections) {
     EXPECT_NE(j.find("stage_seconds")->find(s), nullptr) << s;
   }
   EXPECT_GT(j.find("result_cache")->find("hit_rate")->as_number(), 0.0);
+  EXPECT_NE(j.find("result_cache")->find("collisions"), nullptr);
   EXPECT_GE(j.find("requests_error")->as_int(), 1);
   EXPECT_GT(j.find("stage_seconds")->find("tagformer")->as_number(), 0.0);
 }

@@ -24,9 +24,11 @@
 //   --designs N            designs per family (default 1)
 //
 // The daemon exits 0 on EOF or a `shutdown` request. Bad requests are
-// per-request error responses, never daemon failures. Batching: lines
-// already buffered on stdin are grouped into one batch (responses keep
-// submission order), so piping a request file exercises the batched path.
+// per-request error responses, never daemon failures. The stdin loop is
+// deliberately serial — each line is processed to completion before the
+// next is read, so wire-path batches always have size 1 and a replayed
+// request file yields byte-identical output. Concurrent batching happens
+// behind the in-process Server::submit_async API (see run_serve's note).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
