@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "model/graph.hpp"
 #include "netlist/cone.hpp"
 #include "nn/serialize.hpp"
+#include "util/checksum.hpp"
+#include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -205,20 +208,36 @@ NetTagConfig read_checkpoint_config(const std::string& prefix) {
   const std::string path = prefix + ".ckpt";
   NetTagConfig c;
   bool format_ok = false;
-  auto to_int = [&path](const std::string& key, const std::string& v) {
-    try {
-      return std::stoi(v);
-    } catch (const std::exception&) {
-      throw std::runtime_error("read_checkpoint_config: " + path +
-                               ": bad integer for '" + key + "': " + v);
-    }
+  std::vector<int> linenos;
+  const auto entries = load_manifest(path, &linenos);
+  std::map<std::string, int> seen;  // key -> first source line
+  int lineno = 0;
+  auto fail = [&path, &lineno](const std::string& what) {
+    throw std::runtime_error("read_checkpoint_config: " + path + ": line " +
+                             std::to_string(lineno) + ": " + what);
   };
-  for (const auto& [key, value] : load_manifest(path)) {
+  // Every dimension must be a positive integer; std::stoi's tolerance for
+  // trailing junk and its huge range would let a corrupt manifest build a
+  // nonsensical (or allocation-bomb) model, so parse strictly and cap at a
+  // bound no real configuration approaches.
+  auto to_int = [&fail](const std::string& key, const std::string& v) {
+    long long out = 0;
+    std::string err;
+    if (!cli::parse_int(v.c_str(), 1, 1 << 20, &out, &err)) {
+      fail("key '" + key + "': " + err);
+    }
+    return static_cast<int>(out);
+  };
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& [key, value] = entries[i];
+    lineno = linenos[i];
+    const auto [prev, fresh] = seen.emplace(key, lineno);
+    if (!fresh) {
+      fail("duplicate key '" + key + "' (first on line " +
+           std::to_string(prev->second) + ")");
+    }
     if (key == "format") {
-      if (value != kCkptFormat) {
-        throw std::runtime_error("read_checkpoint_config: " + path +
-                                 ": unknown format '" + value + "'");
-      }
+      if (value != kCkptFormat) fail("unknown format '" + value + "'");
       format_ok = true;
     } else if (key == "expr_d_model") {
       c.expr_llm.d_model = to_int(key, value);
@@ -241,7 +260,10 @@ NetTagConfig read_checkpoint_config(const std::string& prefix) {
     } else if (key == "k_hop") {
       c.k_hop = to_int(key, value);
     } else if (key == "use_text_attributes") {
-      c.use_text_attributes = value != "0";
+      if (value != "0" && value != "1") {
+        fail("key 'use_text_attributes': expected 0 or 1, got '" + value + "'");
+      }
+      c.use_text_attributes = value == "1";
     } else if (key == "text_cache_entries") {
       c.text_cache_entries = static_cast<std::size_t>(to_int(key, value));
     }
@@ -251,7 +273,25 @@ NetTagConfig read_checkpoint_config(const std::string& prefix) {
     throw std::runtime_error("read_checkpoint_config: " + path +
                              ": missing 'format' line (not a checkpoint?)");
   }
+  if (c.expr_llm.d_model % c.expr_llm.num_heads != 0) {
+    throw std::runtime_error(
+        "read_checkpoint_config: " + path + ": expr_num_heads (" +
+        std::to_string(c.expr_llm.num_heads) + ") must divide expr_d_model (" +
+        std::to_string(c.expr_llm.d_model) + ")");
+  }
   return c;
+}
+
+std::uint32_t params_fingerprint(const NetTag& model) {
+  std::uint32_t crc = 0;
+  auto fold = [&crc](const std::vector<Tensor>& params) {
+    for (const Tensor& p : params) {
+      crc = crc32(p->value.v.data(), p->value.v.size() * sizeof(float), crc);
+    }
+  };
+  fold(model.expr_llm().params());
+  fold(model.tagformer().params());
+  return crc;
 }
 
 std::unique_ptr<NetTag> load_checkpoint(const std::string& prefix,

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -154,8 +155,15 @@ class NetTag {
 void save_checkpoint(const NetTag& model, const std::string& prefix);
 
 /// Reads the manifest written by save_checkpoint. Throws std::runtime_error
-/// on missing/malformed manifests or unknown format versions.
+/// on missing/malformed manifests, unknown format versions, duplicate keys
+/// (the error names both source lines), non-positive dimensions, or an
+/// attention-head count that does not divide expr_d_model.
 NetTagConfig read_checkpoint_config(const std::string& prefix);
+
+/// CRC-32 over every parameter matrix (ExprLLM then TAGFormer, list order).
+/// Cheap identity for "are these the same weights?" — folded into serve
+/// cache keys so a hot-swapped checkpoint cannot replay stale entries.
+std::uint32_t params_fingerprint(const NetTag& model);
 
 /// Reconstructs a model from `<prefix>.ckpt` + parameter files. The seed
 /// only affects transient init values, which load() overwrites.

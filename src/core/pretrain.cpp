@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "analysis/check.hpp"
 #include "expr/expr.hpp"
@@ -87,6 +89,39 @@ void backward_through_leaf(const Tensor& leaf, const Tensor& raw) {
   raw->grad = leaf->grad;
   backward_seeded(raw);
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint / interruption plumbing shared by both training phases.
+//
+// The resume contract (nn/train_state.hpp): every RNG stream a phase uses is
+// forked from the caller's rng in a fixed order, so a resumed run re-derives
+// the same streams, replays all *deterministic* preparation (corpus
+// collection, auxiliary encoders, cone precomputation, head init), and then
+// overwrites only *trained* state — model parameters from the checkpoint
+// files, head values / Adam moments / the loop RNG from the TrainState
+// record. Stop checks run once per loop iteration, after the optimizer
+// step, so a signal always leaves a consistent "step fully applied" state.
+// ---------------------------------------------------------------------------
+
+/// Per-phase view of the TrainCheckpoint policy plus the cross-phase
+/// iteration counter backing halt_after_steps.
+struct PhaseCtx {
+  const TrainCheckpoint* ck = nullptr;  ///< null: checkpointing/stop both off
+  long* global_steps = nullptr;
+
+  bool stop_requested() const {
+    if (!ck) return false;
+    if (ck->stop && ck->stop->load(std::memory_order_relaxed)) return true;
+    return ck->halt_after_steps >= 0 && global_steps &&
+           *global_steps >= ck->halt_after_steps;
+  }
+  bool checkpoint_due(long completed_steps) const {
+    return ck && ck->every > 0 && completed_steps % ck->every == 0;
+  }
+  void count_step() const {
+    if (global_steps) ++*global_steps;
+  }
+};
 
 /// Training-step sanity: the loss must always be finite (a single-float
 /// check, on in every build); with deep checks on, the global gradient norm
@@ -181,10 +216,28 @@ Mat expression_properties(const std::string& text) {
 
 }  // namespace
 
-std::pair<float, float> pretrain_expr_encoder(
+namespace {
+
+/// Step-1 training loop (Objective #1 + the property auxiliary), factored so
+/// pretrain() can checkpoint/resume it. `resume` (may be null) must be an
+/// "expr"-phase TrainState; `save_state` (may be null) persists one. Returns
+/// the per-step loss history; *stopped reports an early cooperative exit.
+std::vector<float> train_expr_phase(
     TextEncoder& encoder, const std::vector<std::string>& expressions,
-    const PretrainOptions& options, Rng& rng) {
-  if (expressions.empty() || options.expr_steps <= 0) return {0.f, 0.f};
+    const PretrainOptions& options, Rng& rng, const TrainState* resume,
+    const PhaseCtx& ctx, const std::function<void(TrainState)>& save_state,
+    bool* stopped) {
+  *stopped = false;
+  std::vector<float> losses;
+  if (expressions.empty() || options.expr_steps <= 0) return losses;
+  if (resume && resume->next_step > 0 &&
+      resume->dataset_size != expressions.size()) {
+    throw std::runtime_error(
+        "resume_pretrain: expression dataset has " +
+        std::to_string(expressions.size()) + " entries but the checkpoint saw " +
+        std::to_string(resume->dataset_size) +
+        " (corpus or options changed — resume cannot be bit-identical)");
+  }
   Rng head_rng = rng.fork();
   Mlp prop_head(encoder.config().out_dim, 32, 6, head_rng);
   std::vector<Tensor> params = encoder.params();
@@ -192,6 +245,17 @@ std::pair<float, float> pretrain_expr_encoder(
     for (const Tensor& p : prop_head.params()) params.push_back(p);
   }
   Adam opt(params, options.expr_lr);
+
+  int start_step = 0;
+  if (resume && resume->next_step > 0) {
+    // Encoder weights were already loaded from the checkpoint's parameter
+    // files; the rest of the trained state lives in the TrainState record.
+    restore_param_values(prop_head.params(), resume->extra_params);
+    opt.restore(resume->adam_t, resume->adam_m, resume->adam_v);
+    rng.set_state(resume->rng_state);
+    losses = resume->loss_history;
+    start_step = static_cast<int>(resume->next_step);
+  }
 
   // Encoder replicas for the sharded step (width > 1 only; at width 1 the
   // joint-graph serial path below runs instead). Replica init weights are
@@ -209,8 +273,7 @@ std::pair<float, float> pretrain_expr_encoder(
     }
   }
 
-  float first = 0.f, last = 0.f;
-  for (int step = 0; step < options.expr_steps; ++step) {
+  for (int step = start_step; step < options.expr_steps; ++step) {
     std::vector<std::string> anchors, positives;
     for (int b = 0; b < options.expr_batch; ++b) {
       const std::string& e = expressions[rng.index(expressions.size())];
@@ -265,10 +328,40 @@ std::pair<float, float> pretrain_expr_encoder(
     }
     check_training_step(loss, params, "pretrain step 1 (expr)", step);
     opt.step();
-    if (step == 0) first = loss->value.v[0];
-    last = loss->value.v[0];
+    losses.push_back(loss->value.v[0]);
+    ctx.count_step();
+    const bool stop_now = ctx.stop_requested();
+    if (save_state && (stop_now || ctx.checkpoint_due(step + 1))) {
+      TrainState st;
+      st.phase = "expr";
+      st.next_step = static_cast<std::uint64_t>(step) + 1;
+      st.rng_state = rng.state();
+      st.adam_t = opt.step_count();
+      st.adam_m = opt.moment1();
+      st.adam_v = opt.moment2();
+      st.extra_params = flatten_param_values(prop_head.params());
+      st.loss_history = losses;
+      st.dataset_size = expressions.size();
+      save_state(std::move(st));
+    }
+    if (stop_now) {
+      *stopped = true;
+      break;
+    }
   }
-  return {first, last};
+  return losses;
+}
+
+}  // namespace
+
+std::pair<float, float> pretrain_expr_encoder(
+    TextEncoder& encoder, const std::vector<std::string>& expressions,
+    const PretrainOptions& options, Rng& rng) {
+  bool stopped = false;
+  const std::vector<float> losses = train_expr_phase(
+      encoder, expressions, options, rng, nullptr, PhaseCtx{}, nullptr, &stopped);
+  if (losses.empty()) return {0.f, 0.f};
+  return {losses.front(), losses.back()};
 }
 
 void pretrain_rtl_encoder(TextEncoder& encoder,
@@ -350,34 +443,113 @@ Mat size_target_of(const Netlist& nl) {
 
 }  // namespace
 
-PretrainReport pretrain(NetTag& model, const Corpus& corpus,
-                        const PretrainOptions& options, Rng& rng) {
+namespace {
+
+PretrainReport pretrain_impl(NetTag& model, const Corpus& corpus,
+                             const PretrainOptions& options, Rng& rng,
+                             const TrainState* resume) {
   PretrainReport report;
   Timer timer;
+  const TrainCheckpoint& ck = options.checkpoint;
+  long global_steps = 0;
+  PhaseCtx ctx;
+  if (ck.enabled() || ck.stop || ck.halt_after_steps >= 0) {
+    ctx.ck = &ck;
+    ctx.global_steps = &global_steps;
+  }
+
+  // A finished run needs no recomputation: report the recorded curves.
+  if (resume && resume->phase == "done") {
+    report.expr_losses = resume->prior_losses;
+    report.tag_losses = resume->loss_history;
+    if (!report.expr_losses.empty()) {
+      report.expr_loss_first = report.expr_losses.front();
+      report.expr_loss_last = report.expr_losses.back();
+    }
+    if (!report.tag_losses.empty()) {
+      report.tag_loss_first = report.tag_losses.front();
+      report.tag_loss_last = report.tag_losses.back();
+    }
+    return report;
+  }
+
+  // Fixed-order stream derivation — the heart of bit-identical resume: each
+  // phase owns a fork, so a resumed run re-derives every phase stream
+  // without replaying the draws an earlier (already-trained) phase made.
+  Rng rng_expr = rng.fork();
+  Rng rng_aux = rng.fork();
+  Rng rng_prep = rng.fork();
+  Rng rng_tag = rng.fork();
+
+  const TrainState* expr_resume =
+      (resume && resume->phase == "expr") ? resume : nullptr;
+  const TrainState* tag_resume =
+      (resume && resume->phase == "tag") ? resume : nullptr;
+  if (resume && !expr_resume && !tag_resume) {
+    throw std::runtime_error("resume_pretrain: unknown checkpoint phase '" +
+                             resume->phase + "'");
+  }
+
+  auto save_phase_state = [&](TrainState st, std::vector<float> prior) {
+    st.prior_losses = std::move(prior);
+    save_checkpoint(model, ck.prefix);
+    save_train_state(train_state_path(ck.prefix), st);
+  };
 
   // ---------------- Step 1: ExprLLM expression contrastive -----------------
-  if (model.config().use_text_attributes && options.objective_expr_cl) {
+  std::vector<float> expr_losses;
+  if (resume && !expr_resume) {
+    // Expr phase completed before the checkpoint: its trained weights came
+    // from the parameter files, its curve from the record.
+    expr_losses = resume->prior_losses;
+  } else if (model.config().use_text_attributes && options.objective_expr_cl) {
     std::vector<std::string> exprs =
         collect_expressions(corpus, model.config().k_hop);
     if (exprs.size() > options.max_expressions) {
-      rng.shuffle(exprs);
+      rng_expr.shuffle(exprs);
       exprs.resize(options.max_expressions);
     }
     report.expr_dataset_size = exprs.size();
-    auto [first, last] =
-        pretrain_expr_encoder(model.expr_llm(), exprs, options, rng);
-    report.expr_loss_first = first;
-    report.expr_loss_last = last;
+    bool stopped = false;
+    expr_losses = train_expr_phase(
+        model.expr_llm(), exprs, options, rng_expr, expr_resume, ctx,
+        ck.enabled() ? std::function<void(TrainState)>([&](TrainState st) {
+          save_phase_state(std::move(st), {});
+        })
+                     : std::function<void(TrainState)>(),
+        &stopped);
     model.clear_text_cache();  // encoder weights changed
+    if (stopped) {
+      report.interrupted = true;
+      report.expr_losses = std::move(expr_losses);
+      report.expr_loss_first = report.expr_losses.front();
+      report.expr_loss_last = report.expr_losses.back();
+      report.seconds_step1 = timer.seconds();
+      return report;
+    }
+  }
+  report.expr_losses = expr_losses;
+  if (!expr_losses.empty()) {
+    report.expr_loss_first = expr_losses.front();
+    report.expr_loss_last = expr_losses.back();
   }
   report.seconds_step1 = timer.seconds();
   timer.reset();
+
+  // Step-1 → step-2 boundary checkpoint: phase "tag" at step 0 with no
+  // trained loop state; resuming from it re-runs step 2 from scratch on the
+  // step-1 weights, exactly like the uninterrupted run.
+  if (ck.enabled() && !tag_resume) {
+    TrainState st;
+    st.phase = "tag";
+    save_phase_state(std::move(st), expr_losses);
+  }
 
   // ---------------- Auxiliary encoders (alignment only) --------------------
   std::unique_ptr<TextEncoder> rtl_encoder;
   std::unique_ptr<Gcn> layout_encoder;
   if (options.objective_align) {
-    Rng aux_rng = rng.fork();
+    Rng aux_rng = rng_aux.fork();
     rtl_encoder = std::make_unique<TextEncoder>(
         model.vocab(), TextEncoderConfig::small(), aux_rng);
     std::vector<std::string> rtl_texts;
@@ -404,10 +576,30 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
   for (const DesignSample& d : corpus.designs) {
     for (const ConeSample& c : d.cones) cones.push_back(&c);
   }
-  rng.shuffle(cones);
+  rng_prep.shuffle(cones);
   if (cones.size() > options.max_cones) cones.resize(options.max_cones);
   report.cones_used = cones.size();
-  if (cones.empty() || options.tag_steps <= 0) return report;
+  if (tag_resume && tag_resume->next_step > 0 &&
+      tag_resume->dataset_size != cones.size()) {
+    throw std::runtime_error(
+        "resume_pretrain: cone dataset has " + std::to_string(cones.size()) +
+        " entries but the checkpoint saw " +
+        std::to_string(tag_resume->dataset_size) +
+        " (corpus or options changed — resume cannot be bit-identical)");
+  }
+  auto save_done_state = [&](const std::vector<float>& tag_losses) {
+    if (!ck.enabled()) return;
+    TrainState st;
+    st.phase = "done";
+    st.next_step = static_cast<std::uint64_t>(options.tag_steps);
+    st.loss_history = tag_losses;
+    st.dataset_size = cones.size();
+    save_phase_state(std::move(st), expr_losses);
+  };
+  if (cones.empty() || options.tag_steps <= 0) {
+    save_done_state({});
+    return report;
+  }
 
   // Precompute per-cone artifacts (ExprLLM frozen => features are constant).
   auto prepare_cone = [&](const ConeSample* c, Rng& cone_rng) {
@@ -450,27 +642,43 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
     // prepare cones in parallel — dominated by frozen-encoder forwards.
     std::vector<Rng> cone_rngs;
     cone_rngs.reserve(cones.size());
-    for (std::size_t i = 0; i < cones.size(); ++i) cone_rngs.push_back(rng.fork());
+    for (std::size_t i = 0; i < cones.size(); ++i) {
+      cone_rngs.push_back(rng_prep.fork());
+    }
     ThreadPool::instance().run_indexed(cones.size(), [&](std::size_t i) {
       prepared[i] = prepare_cone(cones[i], cone_rngs[i]);
     });
   } else {
     for (std::size_t i = 0; i < cones.size(); ++i) {
-      prepared[i] = prepare_cone(cones[i], rng);
+      prepared[i] = prepare_cone(cones[i], rng_prep);
     }
   }
 
-  // Pre-training heads.
-  Rng head_rng = rng.fork();
+  // Pre-training heads. Init always runs (it consumes head_rng draws the
+  // same way in fresh and resumed runs); trained values are then restored
+  // over the init when resuming mid-phase.
+  Rng head_rng = rng_tag.fork();
   Mlp class_head(model.embedding_dim(), 64, num_gate_classes(), head_rng);
   Mlp size_head(model.embedding_dim(), 64, num_gate_classes(), head_rng);
   Tensor mask_emb = make_param(1, model.tag_in_dim(), head_rng, 0.5f);
 
   std::vector<Tensor> params = model.tagformer().params();
-  for (const Tensor& t : class_head.params()) params.push_back(t);
-  for (const Tensor& t : size_head.params()) params.push_back(t);
-  params.push_back(mask_emb);
+  std::vector<Tensor> extra_params;  // saved in TrainState, fixed order
+  for (const Tensor& t : class_head.params()) extra_params.push_back(t);
+  for (const Tensor& t : size_head.params()) extra_params.push_back(t);
+  extra_params.push_back(mask_emb);
+  for (const Tensor& t : extra_params) params.push_back(t);
   Adam opt(params, options.tag_lr);
+
+  std::vector<float> tag_losses;
+  int tag_start = 0;
+  if (tag_resume && tag_resume->next_step > 0) {
+    restore_param_values(extra_params, tag_resume->extra_params);
+    opt.restore(tag_resume->adam_t, tag_resume->adam_m, tag_resume->adam_v);
+    rng_tag.set_state(tag_resume->rng_state);
+    tag_losses = tag_resume->loss_history;
+    tag_start = static_cast<int>(tag_resume->next_step);
+  }
 
   // TAGFormer replicas for the sharded step (width > 1 only).
   const int tag_shards = std::min(parallel_width(), options.graph_batch);
@@ -486,11 +694,11 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
     }
   }
 
-  for (int step = 0; step < options.tag_steps; ++step) {
+  for (int step = tag_start; step < options.tag_steps; ++step) {
     // Sample a batch of cones.
     std::vector<const PreparedCone*> batch;
     for (int b = 0; b < options.graph_batch; ++b) {
-      batch.push_back(&prepared[rng.index(prepared.size())]);
+      batch.push_back(&prepared[rng_tag.index(prepared.size())]);
     }
     const std::size_t bsz = batch.size();
     const auto ranges = shard_ranges(static_cast<int>(bsz), tag_shards);
@@ -563,7 +771,7 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
         const std::size_t k = std::max<std::size_t>(
             1, static_cast<std::size_t>(options.mask_fraction *
                                         static_cast<double>(maskable.size())));
-        const auto pick = rng.sample_indices(maskable.size(), k);
+        const auto pick = rng_tag.sample_indices(maskable.size(), k);
         Mat zeroed = p->features;
         Mat indicator(zeroed.rows, 1);
         std::vector<int> mask_nodes, mask_labels;
@@ -600,30 +808,81 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
           info_nce(n_cls, concat_rows(layout_rows), options.temperature));
     }
 
-    if (losses.empty()) continue;
-    Tensor total = losses[0];
-    for (std::size_t i = 1; i < losses.size(); ++i) total = add(total, losses[i]);
-    backward(total);
-    if (tf_reps.active()) {
-      ThreadPool::instance().run_indexed(
-          static_cast<std::size_t>(tag_shards), [&](std::size_t s) {
-            for (int i = ranges[s].first; i < ranges[s].second; ++i) {
-              const std::size_t u = static_cast<std::size_t>(i);
-              backward_through_leaf(cls_orig[u], raw_orig[u]);
-              if (options.objective_graph_cl) {
-                backward_through_leaf(cls_aug[u], raw_aug[u]);
+    if (!losses.empty()) {
+      Tensor total = losses[0];
+      for (std::size_t i = 1; i < losses.size(); ++i) {
+        total = add(total, losses[i]);
+      }
+      backward(total);
+      if (tf_reps.active()) {
+        ThreadPool::instance().run_indexed(
+            static_cast<std::size_t>(tag_shards), [&](std::size_t s) {
+              for (int i = ranges[s].first; i < ranges[s].second; ++i) {
+                const std::size_t u = static_cast<std::size_t>(i);
+                backward_through_leaf(cls_orig[u], raw_orig[u]);
+                if (options.objective_graph_cl) {
+                  backward_through_leaf(cls_aug[u], raw_aug[u]);
+                }
               }
-            }
-          });
-      tf_reps.reduce();
+            });
+        tf_reps.reduce();
+      }
+      check_training_step(total, params, "pretrain step 2 (tag)", step);
+      opt.step();
+      tag_losses.push_back(total->value.v[0]);
     }
-    check_training_step(total, params, "pretrain step 2 (tag)", step);
-    opt.step();
-    if (step == 0) report.tag_loss_first = total->value.v[0];
-    report.tag_loss_last = total->value.v[0];
+    // Stop/checkpoint decisions run once per iteration — even for the rare
+    // iteration that produced no loss — so a resumed run re-enters the loop
+    // at exactly the iteration boundary the checkpoint captured.
+    ctx.count_step();
+    const bool stop_now = ctx.stop_requested();
+    if (ck.enabled() && (stop_now || ctx.checkpoint_due(step + 1))) {
+      TrainState st;
+      st.phase = "tag";
+      st.next_step = static_cast<std::uint64_t>(step) + 1;
+      st.rng_state = rng_tag.state();
+      st.adam_t = opt.step_count();
+      st.adam_m = opt.moment1();
+      st.adam_v = opt.moment2();
+      st.extra_params = flatten_param_values(extra_params);
+      st.loss_history = tag_losses;
+      st.dataset_size = cones.size();
+      save_phase_state(std::move(st), expr_losses);
+    }
+    if (stop_now) {
+      report.interrupted = true;
+      break;
+    }
+  }
+  if (!report.interrupted) save_done_state(tag_losses);
+  report.tag_losses = std::move(tag_losses);
+  if (!report.tag_losses.empty()) {
+    report.tag_loss_first = report.tag_losses.front();
+    report.tag_loss_last = report.tag_losses.back();
   }
   report.seconds_step2 = timer.seconds();
   return report;
+}
+
+}  // namespace
+
+PretrainReport pretrain(NetTag& model, const Corpus& corpus,
+                        const PretrainOptions& options, Rng& rng) {
+  return pretrain_impl(model, corpus, options, rng, nullptr);
+}
+
+PretrainReport resume_pretrain(NetTag& model, const Corpus& corpus,
+                               const PretrainOptions& options, Rng& rng) {
+  if (!options.checkpoint.enabled()) {
+    throw std::runtime_error(
+        "resume_pretrain: options.checkpoint.prefix is empty");
+  }
+  const TrainState state =
+      load_train_state(train_state_path(options.checkpoint.prefix));
+  // Model weights as of the checkpoint; the expression encoder must be
+  // restored *before* cone preparation, whose input features it produces.
+  model.load(options.checkpoint.prefix);
+  return pretrain_impl(model, corpus, options, rng, &state);
 }
 
 }  // namespace nettag

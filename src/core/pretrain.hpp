@@ -14,10 +14,13 @@
 // pre-training with single objectives removed.
 #pragma once
 
+#include <vector>
+
 #include "core/dataset.hpp"
 #include "core/nettag.hpp"
 #include "model/gcn.hpp"
 #include "model/text_encoder.hpp"
+#include "nn/train_state.hpp"
 #include "util/rng.hpp"
 
 namespace nettag {
@@ -53,6 +56,10 @@ struct PretrainOptions {
   int aux_steps = 50;
   int aux_batch = 6;
   float aux_lr = 2e-3f;
+
+  /// Crash-safe checkpointing + cooperative interruption (off by default —
+  /// a default TrainCheckpoint leaves training behavior untouched).
+  TrainCheckpoint checkpoint;
 };
 
 struct PretrainReport {
@@ -61,6 +68,13 @@ struct PretrainReport {
   std::size_t expr_dataset_size = 0;
   std::size_t cones_used = 0;
   double seconds_step1 = 0, seconds_step2 = 0;
+  /// Per-step losses of the two phases (a resumed run reproduces the
+  /// uninterrupted curve exactly — the bit-identical-resume check).
+  std::vector<float> expr_losses;
+  std::vector<float> tag_losses;
+  /// True when the run stopped early on options.checkpoint.stop /
+  /// halt_after_steps; the checkpoint prefix then holds a resumable state.
+  bool interrupted = false;
 };
 
 /// Pre-trains a TextEncoder with Objective #1 on an expression corpus.
@@ -84,7 +98,22 @@ void pretrain_layout_encoder(Gcn& encoder,
 /// Full two-step pre-training of NetTAG on a corpus. Builds and trains the
 /// auxiliary encoders internally when alignment is enabled (they are used
 /// only during pre-training, per the paper).
+///
+/// With options.checkpoint enabled, the run periodically persists model
+/// parameters plus a TrainState record, and stops cleanly (after the step
+/// in flight, with a final checkpoint) when the stop flag fires.
 PretrainReport pretrain(NetTag& model, const Corpus& corpus,
                         const PretrainOptions& options, Rng& rng);
+
+/// Continues an interrupted pretrain from options.checkpoint.prefix. The
+/// caller must reconstruct model / options / corpus / rng exactly as the
+/// original run (and run at the same NETTAG_THREADS width); the result is
+/// then bit-identical to the uninterrupted run: deterministic preparation
+/// is replayed from re-derived RNG streams, while trained state (model
+/// parameters, head values, Adam moments, the loop RNG) is restored from
+/// the checkpoint. Throws std::runtime_error on a missing/corrupt
+/// checkpoint or a dataset-size mismatch.
+PretrainReport resume_pretrain(NetTag& model, const Corpus& corpus,
+                               const PretrainOptions& options, Rng& rng);
 
 }  // namespace nettag

@@ -2,17 +2,22 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/atomic_io.hpp"
+#include "util/checksum.hpp"
 
 namespace nettag {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4e544147;  // "NTAG"
-}
+constexpr const char* kChecksumKey = "checksum";
+}  // namespace
 
 void save_params(const std::string& path, const std::vector<Tensor>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+  AtomicFileWriter writer(path, /*binary=*/true);
+  std::ofstream& out = writer.stream();
   const std::uint32_t magic = kMagic;
   const std::uint32_t count = static_cast<std::uint32_t>(params.size());
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
@@ -24,7 +29,7 @@ void save_params(const std::string& path, const std::vector<Tensor>& params) {
     out.write(reinterpret_cast<const char*>(p->value.v.data()),
               static_cast<std::streamsize>(p->value.v.size() * sizeof(float)));
   }
-  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+  writer.commit();
 }
 
 void load_params(const std::string& path, const std::vector<Tensor>& params) {
@@ -33,49 +38,112 @@ void load_params(const std::string& path, const std::vector<Tensor>& params) {
   std::uint32_t magic = 0, count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (magic != kMagic) throw std::runtime_error("load_params: bad magic in " + path);
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_params: bad magic in " + path);
+  }
   if (count != params.size()) {
     throw std::runtime_error("load_params: parameter count mismatch in " + path);
   }
+  // Stage every tensor into scratch buffers and validate the complete file
+  // first; params are committed only after everything checks out, so a
+  // truncated or corrupt file never leaves them half-loaded.
+  std::vector<Mat> staged;
+  staged.reserve(params.size());
   for (const Tensor& p : params) {
     std::int32_t r = 0, c = 0;
     in.read(reinterpret_cast<char*>(&r), sizeof(r));
     in.read(reinterpret_cast<char*>(&c), sizeof(c));
+    if (!in) throw std::runtime_error("load_params: truncated file " + path);
     if (r != p->value.rows || c != p->value.cols) {
       throw std::runtime_error("load_params: shape mismatch in " + path);
     }
-    in.read(reinterpret_cast<char*>(p->value.v.data()),
-            static_cast<std::streamsize>(p->value.v.size() * sizeof(float)));
+    Mat m(r, c);
+    in.read(reinterpret_cast<char*>(m.v.data()),
+            static_cast<std::streamsize>(m.v.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_params: truncated file " + path);
+    staged.push_back(std::move(m));
   }
-  if (!in) throw std::runtime_error("load_params: truncated file " + path);
+  // The declared payload must account for the *whole* file: trailing bytes
+  // mean the header under-declares what was written (a torn or mixed-up
+  // file), not a benign extension.
+  in.peek();
+  if (!in.eof()) {
+    throw std::runtime_error(
+        "load_params: file longer than its declared payload: " + path);
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    params[k]->value = std::move(staged[k]);
+  }
 }
 
 void save_manifest(
     const std::string& path,
     const std::vector<std::pair<std::string, std::string>>& entries) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_manifest: cannot open " + path);
+  std::string body;
   for (const auto& [key, value] : entries) {
     if (key.empty() || key.find_first_of(" \t\n") != std::string::npos) {
       throw std::runtime_error("save_manifest: bad key '" + key + "'");
+    }
+    if (key == kChecksumKey) {
+      throw std::runtime_error(
+          "save_manifest: key 'checksum' is reserved for the integrity line");
     }
     if (value.find('\n') != std::string::npos) {
       throw std::runtime_error("save_manifest: value for '" + key +
                                "' contains a newline");
     }
-    out << key << ' ' << value << '\n';
+    body += key;
+    body += ' ';
+    body += value;
+    body += '\n';
   }
-  if (!out) throw std::runtime_error("save_manifest: write failed for " + path);
+  AtomicFileWriter writer(path, /*binary=*/false);
+  writer.stream() << body << kChecksumKey << ' ' << crc32_hex(crc32(body))
+                  << '\n';
+  writer.commit();
 }
 
 std::vector<std::pair<std::string, std::string>> load_manifest(
-    const std::string& path) {
-  std::ifstream in(path);
+    const std::string& path, std::vector<int>* linenos) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_manifest: cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // The last line must be the integrity line; verify it covers every byte
+  // before it, so truncation anywhere (including of the checksum line
+  // itself) is detected before any entry is interpreted.
+  const std::string marker = std::string(kChecksumKey) + ' ';
+  const std::size_t marker_at = content.rfind("\n" + marker);
+  std::size_t body_len, sum_at;
+  if (content.compare(0, marker.size(), marker) == 0 &&
+      marker_at == std::string::npos) {
+    body_len = 0;  // empty manifest: checksum is the first and only line
+    sum_at = marker.size();
+  } else if (marker_at != std::string::npos) {
+    body_len = marker_at + 1;
+    sum_at = body_len + marker.size();
+  } else {
+    throw std::runtime_error("load_manifest: " + path +
+                             ": missing trailing checksum line (truncated or "
+                             "not written by save_manifest)");
+  }
+  std::string sum = content.substr(sum_at);
+  while (!sum.empty() && (sum.back() == '\n' || sum.back() == '\r')) {
+    sum.pop_back();
+  }
+  if (sum != crc32_hex(crc32(content.data(), body_len))) {
+    throw std::runtime_error("load_manifest: " + path +
+                             ": checksum mismatch (file truncated or "
+                             "corrupted)");
+  }
+
   std::vector<std::pair<std::string, std::string>> entries;
+  std::istringstream lines(content.substr(0, body_len));
   std::string line;
   int lineno = 0;
-  while (std::getline(in, line)) {
+  while (std::getline(lines, line)) {
     ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
@@ -85,6 +153,7 @@ std::vector<std::pair<std::string, std::string>> load_manifest(
                                std::to_string(lineno) + ": expected 'key value'");
     }
     entries.emplace_back(line.substr(0, sp), line.substr(sp + 1));
+    if (linenos) linenos->push_back(lineno);
   }
   return entries;
 }

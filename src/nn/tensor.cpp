@@ -902,4 +902,27 @@ void Adam::zero_grad() {
   }
 }
 
+void Adam::restore(long t, std::vector<Mat> m, std::vector<Mat> v) {
+  if (t < 0) {
+    throw std::runtime_error("Adam::restore: negative step count");
+  }
+  if (m.size() != params_.size() || v.size() != params_.size()) {
+    throw std::runtime_error(
+        "Adam::restore: moment count does not match parameter list (" +
+        std::to_string(m.size()) + "/" + std::to_string(v.size()) + " vs " +
+        std::to_string(params_.size()) + " params)");
+  }
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const Mat& p = params_[k]->value;
+    if (m[k].rows != p.rows || m[k].cols != p.cols || v[k].rows != p.rows ||
+        v[k].cols != p.cols) {
+      throw std::runtime_error("Adam::restore: moment shape mismatch at "
+                               "parameter " + std::to_string(k));
+    }
+  }
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 }  // namespace nettag

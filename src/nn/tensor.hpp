@@ -140,6 +140,17 @@ class Adam {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  // --- checkpoint access (nn/train_state.hpp) -----------------------------
+  /// Bias-correction step count (number of step() calls applied).
+  long step_count() const { return t_; }
+  /// First/second moment estimates, one Mat per parameter in list order.
+  const std::vector<Mat>& moment1() const { return m_; }
+  const std::vector<Mat>& moment2() const { return v_; }
+  /// Restores optimizer state from a checkpoint. Shapes must match the
+  /// parameter list exactly; throws std::runtime_error otherwise (the
+  /// optimizer is left untouched on failure).
+  void restore(long t, std::vector<Mat> m, std::vector<Mat> v);
+
  private:
   std::vector<Tensor> params_;
   std::vector<Mat> m_, v_;

@@ -1,0 +1,104 @@
+// TrainState: the optimizer-and-progress companion of a model checkpoint, so
+// an interrupted pre-training or fine-tuning run can resume *bit-identically*
+// (docs/ARCHITECTURE.md §8).
+//
+// A checkpoint prefix owns three files: `<prefix>.exprllm.bin` and
+// `<prefix>.tagformer.bin` (model parameters, nn/serialize.hpp) and
+// `<prefix>.trainer.bin` (this record). The record captures everything the
+// training loop needs beyond the parameters themselves: which phase the run
+// was in, the next step to execute, the training-loop RNG stream, Adam's
+// bias-correction count and moment estimates, the values of any parameters
+// trained outside the model files (fine-tuning heads, the [MASK] embedding),
+// and the loss history so a resumed run reports the same curve.
+//
+// All writes go through temp+rename and carry a trailing CRC-32; a load
+// either returns a fully validated record or throws — never partial state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nettag {
+
+/// Checkpointing policy a training loop (pretrain, finetune heads) follows.
+/// Default-constructed, checkpointing is off and the loop behaves exactly as
+/// before this struct existed.
+struct TrainCheckpoint {
+  /// Checkpoint file prefix (empty: no checkpoints are written). The loop
+  /// writes `<prefix>.ckpt` + parameter files + `<prefix>.trainer.bin`, all
+  /// atomically, so the prefix is loadable at any instant.
+  std::string prefix;
+  /// Save every N completed steps of the current phase (<= 0: only at phase
+  /// boundaries and on stop).
+  int every = 0;
+  /// Cooperative stop flag (util/signal.hpp): when set, the loop finishes
+  /// the step in flight, checkpoints, and returns with `interrupted`.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test hook: behave exactly like `stop` after this many training-loop
+  /// iterations, counted across phases (-1: disabled). Lets tests interrupt
+  /// at a precise, reproducible point without racing a real signal.
+  long halt_after_steps = -1;
+
+  bool enabled() const { return !prefix.empty(); }
+};
+
+struct TrainState {
+  /// Training phase the checkpoint was taken in. Pre-training uses "expr"
+  /// (step 1), "tag" (step 2), and "done"; fine-tuning heads use "head".
+  std::string phase;
+  /// First step of `phase` that has NOT been executed yet (0 at a phase
+  /// boundary, i.e. the step-1/step-2 handoff checkpoint).
+  std::uint64_t next_step = 0;
+  /// Serialized mt19937_64 stream of the training loop (Rng::state()).
+  /// Empty at a phase boundary: the resumed run derives the phase stream
+  /// the same way an uninterrupted run would.
+  std::string rng_state;
+  /// Adam bias-correction count and per-parameter moment estimates, in the
+  /// optimizer's parameter-list order. Empty moments mean "fresh optimizer"
+  /// (again the phase-boundary case).
+  long adam_t = 0;
+  std::vector<Mat> adam_m;
+  std::vector<Mat> adam_v;
+  /// Flat values of trainable tensors that live outside the model parameter
+  /// files, concatenated in a fixed order the producing loop documents
+  /// (pre-training: class head, size head, [MASK] embedding; fine-tuning:
+  /// the head's own parameters).
+  std::vector<float> extra_params;
+  /// Per-step losses of the current phase, up to (excluding) next_step.
+  std::vector<float> loss_history;
+  /// Losses of the already-completed earlier phase (step-1 expression
+  /// losses once the run is in "tag"), so the final report is identical.
+  std::vector<float> prior_losses;
+  /// Size of the training set the loop was iterating (sanity check: a
+  /// resume that prepared a different dataset cannot be bit-identical).
+  std::uint64_t dataset_size = 0;
+};
+
+/// The TrainState file for a checkpoint prefix: `<prefix>.trainer.bin`.
+std::string train_state_path(const std::string& prefix);
+
+/// Writes the record via temp+rename with a trailing CRC-32 over every
+/// preceding byte. Throws std::runtime_error on I/O failure.
+void save_train_state(const std::string& path, const TrainState& state);
+
+/// Reads a record written by save_train_state. Magic, every field length,
+/// the trailing CRC, and the exact file size are all validated before
+/// anything is returned; a truncated, padded, or corrupted file throws
+/// std::runtime_error.
+TrainState load_train_state(const std::string& path);
+
+/// Concatenates the values of `params` into one flat vector, list order
+/// (TrainState::extra_params producer).
+std::vector<float> flatten_param_values(const std::vector<Tensor>& params);
+
+/// Inverse of flatten_param_values: writes `values` back into `params`.
+/// Throws std::runtime_error (before touching anything) when the total
+/// element count does not match.
+void restore_param_values(const std::vector<Tensor>& params,
+                          const std::vector<float>& values);
+
+}  // namespace nettag

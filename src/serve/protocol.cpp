@@ -14,6 +14,7 @@ const char* op_name(Op op) {
     case Op::kPing: return "ping";
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
+    case Op::kReload: return "reload";
     case Op::kEmbedGates: return "embed_gates";
     case Op::kEmbedCone: return "embed_cone";
     case Op::kEmbedCircuit: return "embed_circuit";
@@ -31,6 +32,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTooLarge: return "too_large";
     case ErrorCode::kLintRejected: return "lint_rejected";
     case ErrorCode::kUnknownTask: return "unknown_task";
+    case ErrorCode::kReloadFailed: return "reload_failed";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";
@@ -39,8 +41,9 @@ const char* error_code_name(ErrorCode code) {
 namespace {
 
 bool op_from_name(const std::string& name, Op* out) {
-  for (Op op : {Op::kPing, Op::kStats, Op::kShutdown, Op::kEmbedGates,
-                Op::kEmbedCone, Op::kEmbedCircuit, Op::kPredict}) {
+  for (Op op : {Op::kPing, Op::kStats, Op::kShutdown, Op::kReload,
+                Op::kEmbedGates, Op::kEmbedCone, Op::kEmbedCircuit,
+                Op::kPredict}) {
     if (name == op_name(op)) {
       *out = op;
       return true;
@@ -121,6 +124,14 @@ Request parse_request(const std::string& line) {
       return req;
     }
     req.task = t->as_string();
+  }
+  if (const Json* p = doc.find("model_prefix")) {
+    if (!p->is_string() || p->as_string().empty()) {
+      req.parse_error = ErrorCode::kBadRequest;
+      req.parse_message = "'model_prefix' must be a non-empty string";
+      return req;
+    }
+    req.model_prefix = p->as_string();
   }
   if (needs_netlist(req.op) && req.netlist_text.empty()) {
     req.parse_error = ErrorCode::kBadRequest;

@@ -5,10 +5,11 @@
 //   {"id":"r1","op":"embed_gates","netlist":"module m ...\n...endmodule\n",
 //    "k_hop":2,"max_cone_gates":120,"task":"task2"}
 //
-//   op ∈ ping | stats | shutdown | embed_gates | embed_cone | embed_circuit
-//        | predict. `netlist` carries the structural format of netlist/io.hpp
-//   inside one JSON string; `k_hop` (0 = model default), `max_cone_gates`
-//   (embed_circuit cone cap) and `task` (predict head name) are optional.
+//   op ∈ ping | stats | shutdown | reload | embed_gates | embed_cone
+//        | embed_circuit | predict. `netlist` carries the structural format
+//   of netlist/io.hpp inside one JSON string; `k_hop` (0 = model default),
+//   `max_cone_gates` (embed_circuit cone cap), `task` (predict head name)
+//   and `model_prefix` (reload checkpoint override) are optional.
 //
 // Response line (ok):
 //   {"id":"r1","op":"embed_gates","status":"ok","cached":false,"result":{...}}
@@ -35,6 +36,7 @@ enum class Op {
   kPing,
   kStats,
   kShutdown,
+  kReload,  ///< hot-swap the model from a checkpoint prefix, no downtime
   kEmbedGates,
   kEmbedCone,
   kEmbedCircuit,
@@ -53,6 +55,7 @@ enum class ErrorCode {
   kTooLarge,      ///< netlist exceeds the admission gate size bound
   kLintRejected,  ///< src/analysis admission gate found errors
   kUnknownTask,   ///< predict against an unregistered task head
+  kReloadFailed,  ///< reload checkpoint missing/corrupt; old model kept
   kInternal,      ///< unexpected exception (bug) — reported, not fatal
 };
 
@@ -65,6 +68,7 @@ struct Request {
   int k_hop = 0;                    ///< 0 = model default
   std::size_t max_cone_gates = 120; ///< embed_circuit cone cap
   std::string task;                 ///< predict: registered head name
+  std::string model_prefix;         ///< reload: checkpoint prefix override
   /// Filled by parse_request when the line itself is bad; process() echoes
   /// these back instead of doing work.
   ErrorCode parse_error = ErrorCode::kNone;

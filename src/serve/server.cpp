@@ -6,6 +6,7 @@
 #include "analysis/diagnostic.hpp"
 #include "netlist/io.hpp"
 #include "serve/canonical.hpp"
+#include "util/checksum.hpp"
 #include "util/timer.hpp"
 
 namespace nettag::serve {
@@ -32,9 +33,9 @@ Json cache_stats_json(const ResultCache::Stats& s) {
 }  // namespace
 
 Server::Server(ServerConfig config, std::unique_ptr<NetTag> model)
-    : config_(config),
-      model_(std::move(model)),
-      cache_(config.cache_entries) {
+    : config_(config), cache_(config.cache_entries) {
+  gen_.model = std::move(model);
+  gen_.params_crc = params_fingerprint(*gen_.model);
   batcher_ = std::make_unique<Batcher>(
       [this](const Request& request) { return process(request); },
       config_.max_batch,
@@ -42,6 +43,13 @@ Server::Server(ServerConfig config, std::unique_ptr<NetTag> model)
 }
 
 Server::~Server() = default;
+
+Server::ModelGen Server::snapshot() const {
+  std::lock_guard<std::mutex> lk(model_mu_);
+  return gen_;
+}
+
+const NetTag& Server::model() const { return *snapshot().model; }
 
 void Server::register_task(const std::string& name, TaskFn fn) {
   std::lock_guard<std::mutex> lk(tasks_mu_);
@@ -70,9 +78,12 @@ bool Server::shutdown_requested() const {
 }
 
 std::string Server::render_stats() const {
+  const ModelGen gen = snapshot();
   Json j = snapshot_to_json(metrics_.snapshot());
   j.set("result_cache", cache_stats_json(cache_.stats()));
-  const TextEmbeddingCache& tc = model_->text_cache();
+  j.set("reloads", static_cast<double>(reloads_.load(std::memory_order_relaxed)));
+  j.set("weights_crc32", crc32_hex(gen.params_crc));
+  const TextEmbeddingCache& tc = gen.model->text_cache();
   Json text = Json::object();
   text.set("entries", static_cast<double>(tc.size()));
   text.set("capacity", static_cast<double>(tc.capacity()));
@@ -113,6 +124,9 @@ Response Server::process(const Request& request) {
       shutdown_.store(true, std::memory_order_relaxed);
       response.result_json = "{\"shutting_down\":true}";
       break;
+    case Op::kReload:
+      response = process_reload(request);
+      break;
     default:
       response = process_netlist_op(request);
       break;
@@ -121,10 +135,53 @@ Response Server::process(const Request& request) {
   return response;
 }
 
+Response Server::process_reload(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.op = request.op;
+  const std::string prefix =
+      request.model_prefix.empty() ? config_.model_prefix : request.model_prefix;
+  if (prefix.empty()) {
+    response.error = ErrorCode::kBadRequest;
+    response.error_message =
+        "reload needs 'model_prefix' (server has no configured default)";
+    return response;
+  }
+  // One reload at a time; the (slow) checkpoint load happens outside
+  // model_mu_, so concurrent requests keep serving the old generation and
+  // only the pointer swap itself synchronizes with them.
+  std::lock_guard<std::mutex> reload_lk(reload_mu_);
+  try {
+    std::shared_ptr<NetTag> fresh = load_checkpoint(prefix);
+    const std::uint32_t crc = params_fingerprint(*fresh);
+    bool changed;
+    {
+      std::lock_guard<std::mutex> lk(model_mu_);
+      changed = crc != gen_.params_crc;
+      prev_model_ = std::move(gen_.model);
+      gen_.model = std::move(fresh);
+      gen_.params_crc = crc;
+    }
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+    response.result_json = "{\"reloaded\":true,\"prefix\":\"" +
+                           json_escape(prefix) +
+                           "\",\"params_changed\":" + (changed ? "true" : "false") +
+                           ",\"weights_crc32\":\"" + crc32_hex(crc) + "\"}";
+  } catch (const std::exception& e) {
+    response.error = ErrorCode::kReloadFailed;
+    response.error_message = e.what();
+  }
+  return response;
+}
+
 Response Server::process_netlist_op(const Request& request) {
   Response response;
   response.id = request.id;
   response.op = request.op;
+  // Pin this request to one model generation: a concurrent reload swaps the
+  // server's generation but never the one in-flight work computes with.
+  const ModelGen gen = snapshot();
+  const NetTag& model = *gen.model;
 
   // Stage 1: parse the structural netlist text.
   Timer t;
@@ -189,11 +246,16 @@ Response Server::process_netlist_op(const Request& request) {
   // Stage 3: content-addressed cache. embed_gates returns one row per gate
   // in declaration order, so its key and fingerprint are declaration-order
   // sensitive — a reordered isomorphic netlist recomputes instead of
-  // receiving rows assigned to the wrong gates.
-  const CacheKey key =
+  // receiving rows assigned to the wrong gates. The weights CRC of the
+  // pinned model generation is part of the key: a hot reload with new
+  // weights strands the old entries instead of replaying them, while a
+  // reload of identical weights keeps every entry live.
+  CacheKey key =
       cache_key(nl, op_name(request.op), request.k_hop,
                 request.max_cone_gates, request.task,
                 /*per_node_output=*/request.op == Op::kEmbedGates);
+  key.key += "|w";
+  key.key += crc32_hex(gen.params_crc);
   std::string payload;
   if (cache_.lookup(key.key, key.fingerprint, &payload)) {
     response.result_json = std::move(payload);
@@ -205,31 +267,29 @@ Response Server::process_netlist_op(const Request& request) {
   EmbedTiming timing;
   switch (request.op) {
     case Op::kEmbedGates: {
-      const NetTag::ConeEmbedding emb =
-          model_->embed(nl, request.k_hop, &timing);
-      payload = "{\"dim\":" + std::to_string(model_->embedding_dim()) +
+      const NetTag::ConeEmbedding emb = model.embed(nl, request.k_hop, &timing);
+      payload = "{\"dim\":" + std::to_string(model.embedding_dim()) +
                 ",\"nodes\":" + mat_to_json(emb.nodes) +
                 ",\"cls\":" + mat_to_json(emb.cls) + "}";
       break;
     }
     case Op::kEmbedCone: {
-      const NetTag::ConeEmbedding emb =
-          model_->embed(nl, request.k_hop, &timing);
-      payload = "{\"dim\":" + std::to_string(model_->embedding_dim()) +
+      const NetTag::ConeEmbedding emb = model.embed(nl, request.k_hop, &timing);
+      payload = "{\"dim\":" + std::to_string(model.embedding_dim()) +
                 ",\"cls\":" + mat_to_json(emb.cls) + "}";
       break;
     }
     case Op::kEmbedCircuit: {
       const Mat circuit =
-          model_->embed_circuit(nl, request.max_cone_gates, &timing);
-      payload = "{\"dim\":" + std::to_string(model_->embedding_dim()) +
+          model.embed_circuit(nl, request.max_cone_gates, &timing);
+      payload = "{\"dim\":" + std::to_string(model.embedding_dim()) +
                 ",\"registers\":" + std::to_string(nl.registers().size()) +
                 ",\"circuit\":" + mat_to_json(circuit) + "}";
       break;
     }
     case Op::kPredict: {
       Timer task_timer;
-      const std::vector<double> scores = task_fn(*model_, nl);
+      const std::vector<double> scores = task_fn(model, nl);
       // Head time is dominated by the embed inside task_fn; attribute it to
       // the TAGFormer stage (the head itself is a few matmuls).
       atomic_add_seconds(timing.tagformer, task_timer.seconds());

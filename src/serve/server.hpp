@@ -16,6 +16,8 @@
 // render_response).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
@@ -44,6 +46,10 @@ struct ServerConfig {
   bool reject_warnings = false;
   /// Admission lint options (rule toggles, fanout bound).
   LintOptions lint;
+  /// Default checkpoint prefix for `reload` requests that carry no
+  /// `model_prefix` of their own (typically the prefix the server was
+  /// started from). Empty: such requests are rejected.
+  std::string model_prefix;
 };
 
 class Server {
@@ -52,8 +58,13 @@ class Server {
   Server(ServerConfig config, std::unique_ptr<NetTag> model);
   ~Server();
 
-  const NetTag& model() const { return *model_; }
+  /// Current model. The reference stays valid until the *next* reload
+  /// completes (the server retains the swapped-out model until then), so
+  /// transient use is safe; don't hold it across reloads.
+  const NetTag& model() const;
   const ServerConfig& config() const { return config_; }
+  /// Number of successful `reload` ops since startup.
+  std::uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
 
   /// Fine-tuned task head hook: `fn` maps (shared model, admitted netlist)
   /// to a score vector. Registered heads answer `predict` requests; results
@@ -83,14 +94,34 @@ class Server {
   Batcher& batcher() { return *batcher_; }
 
  private:
+  /// One model generation: the shared instance plus the CRC-32 of its
+  /// parameters. The CRC is folded into every result-cache key, so entries
+  /// computed by one set of weights can never answer for another — a reload
+  /// that lands the *same* weights keeps every cache entry valid, while new
+  /// weights make the old entries unreachable (they age out via LRU).
+  struct ModelGen {
+    std::shared_ptr<NetTag> model;
+    std::uint32_t params_crc = 0;
+  };
+  ModelGen snapshot() const;
+
   /// Per-request handler: admission, cache, model work. Runs on pool
   /// workers; everything it touches is internally synchronized.
   Response process(const Request& request);
   Response process_netlist_op(const Request& request);
+  Response process_reload(const Request& request);
   std::string render_stats() const;
 
   ServerConfig config_;
-  std::unique_ptr<NetTag> model_;
+  /// Guards the generation swap only; requests work on their own snapshot,
+  /// so a reload never blocks or invalidates in-flight work.
+  mutable std::mutex model_mu_;
+  ModelGen gen_;
+  /// Previous generation, kept so references from model() survive one swap.
+  std::shared_ptr<NetTag> prev_model_;
+  /// Serializes whole reload operations (checkpoint load outside model_mu_).
+  std::mutex reload_mu_;
+  std::atomic<std::uint64_t> reloads_{0};
   ServeMetrics metrics_;
   ResultCache cache_;
 

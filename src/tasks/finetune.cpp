@@ -3,10 +3,56 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/parallel.hpp"
 
 namespace nettag {
+
+namespace {
+
+// Shared checkpoint/stop plumbing for the two head-fit loops. Heads persist
+// only a TrainState record (phase "head"): the MLP parameters ride in
+// extra_params and everything else about a fit — normalization statistics,
+// the class-pool partition — is a deterministic function of the data, so a
+// resume recomputes it and restores just the trained state.
+
+void validate_head_resume(const TrainState& st, int rows) {
+  if (st.phase != "head") {
+    throw std::runtime_error("resume_fit: checkpoint phase '" + st.phase +
+                             "' is not a head checkpoint");
+  }
+  if (st.dataset_size != static_cast<std::uint64_t>(rows)) {
+    throw std::runtime_error(
+        "resume_fit: dataset has " + std::to_string(rows) +
+        " rows but the checkpoint saw " + std::to_string(st.dataset_size) +
+        " (data changed — resume cannot be bit-identical)");
+  }
+}
+
+void save_head_state(const TrainCheckpoint& ck, int next_step, Rng& rng,
+                     const Adam& opt, const Mlp& mlp,
+                     const std::vector<float>& losses, int rows) {
+  TrainState st;
+  st.phase = "head";
+  st.next_step = static_cast<std::uint64_t>(next_step);
+  st.rng_state = rng.state();
+  st.adam_t = opt.step_count();
+  st.adam_m = opt.moment1();
+  st.adam_v = opt.moment2();
+  st.extra_params = flatten_param_values(mlp.params());
+  st.loss_history = losses;
+  st.dataset_size = static_cast<std::uint64_t>(rows);
+  save_train_state(train_state_path(ck.prefix), st);
+}
+
+bool head_stop_requested(const TrainCheckpoint& ck, long executed) {
+  if (ck.stop && ck.stop->load(std::memory_order_relaxed)) return true;
+  return ck.halt_after_steps >= 0 && executed >= ck.halt_after_steps;
+}
+
+}  // namespace
 
 Mat vstack(const std::vector<Mat>& rows) {
   assert(!rows.empty());
@@ -91,12 +137,39 @@ ClassifierHead::ClassifierHead(int in_dim, int num_classes,
   mlp_ = std::make_unique<Mlp>(in_dim, options.hidden, num_classes, rng);
 }
 
-void ClassifierHead::fit(const Mat& x_raw, const std::vector<int>& y, Rng& rng) {
+bool ClassifierHead::fit(const Mat& x, const std::vector<int>& y, Rng& rng) {
+  return fit_impl(x, y, rng, nullptr);
+}
+
+bool ClassifierHead::resume_fit(const Mat& x, const std::vector<int>& y,
+                                Rng& rng) {
+  if (!options_.checkpoint.enabled()) {
+    throw std::runtime_error("resume_fit: options.checkpoint.prefix is empty");
+  }
+  const TrainState st =
+      load_train_state(train_state_path(options_.checkpoint.prefix));
+  return fit_impl(x, y, rng, &st);
+}
+
+bool ClassifierHead::fit_impl(const Mat& x_raw, const std::vector<int>& y,
+                              Rng& rng, const TrainState* resume) {
   assert(x_raw.rows == static_cast<int>(y.size()));
-  if (x_raw.rows == 0) return;
+  if (x_raw.rows == 0) return true;
   fit_column_stats(x_raw, &col_mean_, &col_std_);
   const Mat x = apply_column_stats(x_raw, col_mean_, col_std_);
   Adam opt(mlp_->params(), options_.lr);
+
+  const TrainCheckpoint& ck = options_.checkpoint;
+  std::vector<float> losses;
+  int start_step = 0;
+  if (resume) {
+    validate_head_resume(*resume, x_raw.rows);
+    restore_param_values(mlp_->params(), resume->extra_params);
+    opt.restore(resume->adam_t, resume->adam_m, resume->adam_v);
+    rng.set_state(resume->rng_state);
+    losses = resume->loss_history;
+    start_step = static_cast<int>(resume->next_step);
+  }
 
   // Optional inverse-frequency resampling for imbalanced tasks: oversample
   // minority classes in the minibatch draw.
@@ -109,7 +182,8 @@ void ClassifierHead::fit(const Mat& x_raw, const std::vector<int>& y, Rng& rng) 
     if (!by_class[static_cast<std::size_t>(c)].empty()) nonempty.push_back(c);
   }
 
-  for (int step = 0; step < options_.steps; ++step) {
+  long executed = 0;
+  for (int step = start_step; step < options_.steps; ++step) {
     std::vector<int> idx;
     std::vector<int> labels;
     for (int b = 0; b < options_.batch; ++b) {
@@ -128,7 +202,16 @@ void ClassifierHead::fit(const Mat& x_raw, const std::vector<int>& y, Rng& rng) 
     Tensor loss = cross_entropy(logits, labels);
     backward(loss);
     opt.step();
+    losses.push_back(loss->value.v[0]);
+    ++executed;
+    const bool stop_now = head_stop_requested(ck, executed);
+    if (ck.enabled() &&
+        (stop_now || (ck.every > 0 && (step + 1) % ck.every == 0))) {
+      save_head_state(ck, step + 1, rng, opt, *mlp_, losses, x_raw.rows);
+    }
+    if (stop_now) return false;
   }
+  return true;
 }
 
 Mat ClassifierHead::scores(const Mat& x) const {
@@ -159,9 +242,24 @@ RegressorHead::RegressorHead(int in_dim, const FinetuneOptions& options, Rng& rn
   mlp_ = std::make_unique<Mlp>(in_dim, options.hidden, 1, rng);
 }
 
-void RegressorHead::fit(const Mat& x_raw, const std::vector<double>& y, Rng& rng) {
+bool RegressorHead::fit(const Mat& x, const std::vector<double>& y, Rng& rng) {
+  return fit_impl(x, y, rng, nullptr);
+}
+
+bool RegressorHead::resume_fit(const Mat& x, const std::vector<double>& y,
+                               Rng& rng) {
+  if (!options_.checkpoint.enabled()) {
+    throw std::runtime_error("resume_fit: options.checkpoint.prefix is empty");
+  }
+  const TrainState st =
+      load_train_state(train_state_path(options_.checkpoint.prefix));
+  return fit_impl(x, y, rng, &st);
+}
+
+bool RegressorHead::fit_impl(const Mat& x_raw, const std::vector<double>& y,
+                             Rng& rng, const TrainState* resume) {
   assert(x_raw.rows == static_cast<int>(y.size()));
-  if (x_raw.rows == 0) return;
+  if (x_raw.rows == 0) return true;
   fit_column_stats(x_raw, &col_mean_, &col_std_);
   const Mat x = apply_column_stats(x_raw, col_mean_, col_std_);
   // Z-score normalization of targets for stable training.
@@ -174,7 +272,21 @@ void RegressorHead::fit(const Mat& x_raw, const std::vector<double>& y, Rng& rng
   std_ = std::sqrt(std::max(sq / static_cast<double>(y.size()) - mean_ * mean_,
                             1e-12));
   Adam opt(mlp_->params(), options_.lr);
-  for (int step = 0; step < options_.steps; ++step) {
+
+  const TrainCheckpoint& ck = options_.checkpoint;
+  std::vector<float> losses;
+  int start_step = 0;
+  if (resume) {
+    validate_head_resume(*resume, x_raw.rows);
+    restore_param_values(mlp_->params(), resume->extra_params);
+    opt.restore(resume->adam_t, resume->adam_m, resume->adam_v);
+    rng.set_state(resume->rng_state);
+    losses = resume->loss_history;
+    start_step = static_cast<int>(resume->next_step);
+  }
+
+  long executed = 0;
+  for (int step = start_step; step < options_.steps; ++step) {
     std::vector<int> idx;
     for (int b = 0; b < options_.batch; ++b) {
       idx.push_back(static_cast<int>(rng.index(static_cast<std::size_t>(x.rows))));
@@ -188,7 +300,16 @@ void RegressorHead::fit(const Mat& x_raw, const std::vector<double>& y, Rng& rng
     Tensor loss = mse_loss(pred, target);
     backward(loss);
     opt.step();
+    losses.push_back(loss->value.v[0]);
+    ++executed;
+    const bool stop_now = head_stop_requested(ck, executed);
+    if (ck.enabled() &&
+        (stop_now || (ck.every > 0 && (step + 1) % ck.every == 0))) {
+      save_head_state(ck, step + 1, rng, opt, *mlp_, losses, x_raw.rows);
+    }
+    if (stop_now) return false;
   }
+  return true;
 }
 
 std::vector<double> RegressorHead::predict(const Mat& x) const {

@@ -1,0 +1,48 @@
+#include "util/atomic_io.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace nettag {
+
+AtomicFileWriter::AtomicFileWriter(std::string final_path, bool binary)
+    : final_path_(std::move(final_path)), tmp_path_(final_path_ + ".tmp") {
+  const std::ios_base::openmode mode =
+      binary ? std::ios::binary | std::ios::trunc : std::ios::trunc;
+  out_.open(tmp_path_, mode);
+  if (!out_) {
+    throw std::runtime_error("AtomicFileWriter: cannot open " + tmp_path_);
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFileWriter::commit() {
+  out_.flush();
+  if (!out_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("AtomicFileWriter: write failed for " +
+                             tmp_path_);
+  }
+  out_.close();
+  if (out_.fail()) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("AtomicFileWriter: close failed for " +
+                             tmp_path_);
+  }
+  if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("AtomicFileWriter: cannot rename " + tmp_path_ +
+                             " onto " + final_path_);
+  }
+  committed_ = true;
+}
+
+}  // namespace nettag

@@ -1,0 +1,46 @@
+// Crash-safe file emission: write the complete payload to `<path>.tmp`,
+// then rename onto the final path. POSIX rename within one directory is
+// atomic, so a reader never observes a torn file — it sees either the old
+// checkpoint or the new one, never a half-written mix — and a crash mid-save
+// leaves at most a stale `.tmp` beside an intact previous copy. Every
+// checkpoint/manifest emitter in the repo goes through this writer; nothing
+// writes a checkpoint directly to its final path.
+//
+// The temp name is derived from the final path, so concurrent writers of the
+// *same* path would race on it; checkpoints have a single writer (the
+// training process) by contract.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace nettag {
+
+/// RAII temp-then-rename writer. Stream into `stream()`, then `commit()`.
+/// Destruction without a commit (exception unwind, early return) removes the
+/// temp file and leaves the final path untouched.
+class AtomicFileWriter {
+ public:
+  /// Opens `<final_path>.tmp` for writing (truncating any stale leftover).
+  /// Throws std::runtime_error when the temp file cannot be opened.
+  AtomicFileWriter(std::string final_path, bool binary);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::ofstream& stream() { return out_; }
+
+  /// Flushes, closes, and renames the temp file onto the final path.
+  /// Throws std::runtime_error on any write/close/rename failure (the temp
+  /// file is removed, the final path keeps its previous content).
+  void commit();
+
+ private:
+  std::string final_path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+}  // namespace nettag

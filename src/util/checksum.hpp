@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) shared by every
+// integrity check in the persistence layer: the trailing checksum line of
+// text manifests, the binary TrainState trailer, and the parameter
+// fingerprint the serving daemon uses to decide whether a reloaded
+// checkpoint actually changed the weights.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nettag {
+
+/// CRC of `size` bytes, continuing from `crc` (pass the previous return
+/// value to checksum data incrementally; 0 starts a fresh stream).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+inline std::uint32_t crc32(const std::string& bytes, std::uint32_t crc = 0) {
+  return crc32(bytes.data(), bytes.size(), crc);
+}
+
+/// Fixed-width lowercase hex rendering ("%08x") used by text manifests.
+std::string crc32_hex(std::uint32_t crc);
+
+}  // namespace nettag

@@ -1,0 +1,63 @@
+#include "util/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace nettag::cli {
+
+namespace {
+
+bool is_ascii_digit(char c) { return c >= '0' && c <= '9'; }
+
+std::string quoted(const char* text) {
+  return "'" + std::string(text) + "'";
+}
+
+}  // namespace
+
+bool parse_int(const char* text, long long min_value, long long max_value,
+               long long* out, std::string* error) {
+  // strtoll skips leading whitespace and accepts a sign; require the text to
+  // start with a digit or a single sign followed by a digit so " 7" and
+  // "+ 7" are rejected as firmly as "7abc".
+  const char* p = text;
+  if (*p == '+' || *p == '-') ++p;
+  if (!is_ascii_digit(*p)) {
+    *error = "expected an integer, got " + quoted(text);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') {
+    *error = "expected an integer, got " + quoted(text);
+    return false;
+  }
+  if (v < min_value || v > max_value) {
+    *error = quoted(text) + " is out of range [" + std::to_string(min_value) +
+             ", " + std::to_string(max_value) + "]";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const char* text, std::uint64_t* out, std::string* error) {
+  // strtoull accepts "-1" (wrapping) and leading whitespace; require the
+  // first character to be a digit (a hex value starts with the digit 0).
+  if (!is_ascii_digit(text[0])) {
+    *error = "expected an unsigned integer, got " + quoted(text);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (errno == ERANGE || end == text || *end != '\0') {
+    *error = "expected an unsigned integer, got " + quoted(text);
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace nettag::cli

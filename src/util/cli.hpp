@@ -1,0 +1,27 @@
+// Strict command-line number parsing shared by the tools (nettag_lint,
+// nettag_serve, nettag_train).
+//
+// std::atoi silently yields 0 on garbage ("--designs banana" ran with 0
+// designs) and strtoull with a null end pointer accepts trailing junk
+// ("--seed 7abc" silently truncated to 7). These helpers reject anything
+// that is not *entirely* a number, and their error message names the
+// offending text so the user sees exactly what was mis-typed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nettag::cli {
+
+/// Parses a base-10 signed integer. The whole of `text` must be consumed and
+/// the value must lie in [min_value, max_value]. On failure returns false
+/// and sets *error to a message quoting `text`.
+bool parse_int(const char* text, long long min_value, long long max_value,
+               long long* out, std::string* error);
+
+/// Parses an unsigned 64-bit integer, accepting 0x/0 prefixes (seeds are
+/// conventionally written in hex). Rejects empty input, any sign, and
+/// trailing junk. On failure returns false and sets *error.
+bool parse_u64(const char* text, std::uint64_t* out, std::string* error);
+
+}  // namespace nettag::cli

@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
 
 namespace nettag {
+
+std::string Rng::state() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+void Rng::set_state(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (!in) {
+    throw std::runtime_error("Rng::set_state: malformed engine state");
+  }
+  engine_ = restored;
+}
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   k = std::min(k, n);

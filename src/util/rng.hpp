@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace nettag {
@@ -53,6 +54,15 @@ class Rng {
 
   /// Derive an independent child generator (for parallel-safe substreams).
   Rng fork() { return Rng(engine_()); }
+
+  /// Exact textual engine state for checkpointing (std::mt19937_64 streams
+  /// its full state; restoring it resumes the draw sequence bit-for-bit).
+  /// Every helper above builds its distribution object per call, so the
+  /// engine state is the *complete* generator state.
+  std::string state() const;
+  /// Restores a state() snapshot; throws std::runtime_error on malformed
+  /// input (the engine is left untouched in that case).
+  void set_state(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,23 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+
+namespace nettag {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void stop_handler(int) { g_stop.store(true); }
+
+}  // namespace
+
+const std::atomic<bool>* install_stop_signals() {
+  std::signal(SIGINT, stop_handler);
+  std::signal(SIGTERM, stop_handler);
+  return &g_stop;
+}
+
+std::atomic<bool>* stop_signal_flag() { return &g_stop; }
+
+}  // namespace nettag

@@ -1,0 +1,23 @@
+// Cooperative SIGINT/SIGTERM handling for the training tools.
+//
+// The handler only sets a process-wide atomic flag (the one async-signal-safe
+// thing it may do); training loops poll the flag after each optimizer step,
+// finish the step they are on, write a checkpoint, and exit 0 — a kill
+// signal never loses more than one step of work and never tears a file
+// (writes are atomic, util/atomic_io.hpp).
+#pragma once
+
+#include <atomic>
+
+namespace nettag {
+
+/// Installs SIGINT and SIGTERM handlers that set a shared stop flag and
+/// returns a pointer to it (stable for the process lifetime; repeated calls
+/// reinstall the handlers and return the same flag). Hand the pointer to
+/// TrainCheckpoint::stop so training loops observe the request.
+const std::atomic<bool>* install_stop_signals();
+
+/// The flag itself, without (re)installing handlers — test hook.
+std::atomic<bool>* stop_signal_flag();
+
+}  // namespace nettag

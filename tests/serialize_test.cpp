@@ -1,7 +1,9 @@
-// Tests for parameter (de)serialization.
+// Tests for parameter (de)serialization, the crash-safety contract of the
+// checkpoint files (docs/ARCHITECTURE.md §8), and TrainState records.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "netlist/io.hpp"
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
+#include "nn/train_state.hpp"
 
 namespace nettag {
 namespace {
@@ -158,6 +161,234 @@ TEST(Serialize, CheckpointBadFormatRejected) {
   EXPECT_THROW(read_checkpoint_config("/tmp/nettag_ckpt_badfmt"),
                std::runtime_error);
   std::remove("/tmp/nettag_ckpt_badfmt.ckpt");
+}
+
+// --- crash-safety contract ---------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<float> flat_values(const std::vector<Tensor>& params) {
+  return flatten_param_values(params);
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
+
+// A crash can leave a file truncated at *any* byte. Simulate every one of
+// them: the load must throw and the target parameters must be untouched —
+// never a partially applied checkpoint.
+TEST(Serialize, ParamsTruncatedAtEveryByteRejected) {
+  const std::string path = "/tmp/nettag_ser_crash.bin";
+  Rng rng(11);
+  Linear saved(3, 2, rng);
+  save_params(path, saved.params());
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 8u);
+
+  Linear target(3, 2, rng);  // different init than `saved`
+  const std::vector<float> before = flat_values(target.params());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_file(path, bytes.substr(0, len));
+    EXPECT_THROW(load_params(path, target.params()), std::runtime_error)
+        << "truncated to " << len << " of " << bytes.size() << " bytes";
+    EXPECT_EQ(flat_values(target.params()), before)
+        << "partial state applied at truncation length " << len;
+  }
+  // The intact file still loads (the harness itself is not over-strict).
+  write_file(path, bytes);
+  load_params(path, target.params());
+  EXPECT_EQ(flat_values(target.params()), flat_values(saved.params()));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ParamsTrailingGarbageRejected) {
+  const std::string path = "/tmp/nettag_ser_trail.bin";
+  Rng rng(12);
+  Linear saved(3, 2, rng);
+  save_params(path, saved.params());
+  std::string bytes = read_file(path);
+  bytes.push_back('\0');
+  write_file(path, bytes);
+  Linear target(3, 2, rng);
+  const std::vector<float> before = flat_values(target.params());
+  EXPECT_THROW(load_params(path, target.params()), std::runtime_error);
+  EXPECT_EQ(flat_values(target.params()), before);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, WritersLeaveNoTempFileBehind) {
+  const std::string bin = "/tmp/nettag_ser_notmp.bin";
+  const std::string man = "/tmp/nettag_ser_notmp.ckpt";
+  Rng rng(13);
+  Linear l(2, 2, rng);
+  save_params(bin, l.params());
+  save_manifest(man, {{"format", "x"}});
+  EXPECT_TRUE(file_exists(bin));
+  EXPECT_TRUE(file_exists(man));
+  EXPECT_FALSE(file_exists(bin + ".tmp"));
+  EXPECT_FALSE(file_exists(man + ".tmp"));
+  std::remove(bin.c_str());
+  std::remove(man.c_str());
+}
+
+TEST(Serialize, ManifestTruncationAndCorruptionRejected) {
+  const std::string path = "/tmp/nettag_man_crash.ckpt";
+  const std::vector<std::pair<std::string, std::string>> entries = {
+      {"format", "nettag-ckpt-v1"}, {"out_dim", "48"}};
+  save_manifest(path, entries);
+  const std::string bytes = read_file(path);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_file(path, bytes.substr(0, len));
+    // The contract is all-or-nothing: a truncated manifest either throws or
+    // (when the lost bytes carried no data — the final newline) parses to
+    // exactly the full entry set. Never a partial/altered one.
+    try {
+      EXPECT_EQ(load_manifest(path), entries)
+          << "partial parse at truncation length " << len;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  // One flipped byte anywhere (body or checksum line) must be caught.
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    std::string corrupt = bytes;
+    corrupt[at] ^= 0x20;  // keeps printability; changes the byte
+    if (corrupt[at] == '\n' || bytes[at] == '\n') continue;  // layout change
+    write_file(path, corrupt);
+    EXPECT_THROW(load_manifest(path), std::runtime_error)
+        << "flip at byte " << at << " undetected";
+  }
+  write_file(path, bytes);
+  EXPECT_EQ(load_manifest(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+// --- TrainState records ------------------------------------------------------
+
+TrainState sample_train_state() {
+  TrainState st;
+  st.phase = "tag";
+  st.next_step = 17;
+  st.rng_state = "123 456 789";
+  st.adam_t = 17;
+  Mat m(2, 3), v(2, 3);
+  for (std::size_t i = 0; i < m.v.size(); ++i) {
+    m.v[i] = 0.25f * static_cast<float>(i);
+    v.v[i] = -1.5f + static_cast<float>(i);
+  }
+  st.adam_m = {m};
+  st.adam_v = {v};
+  st.extra_params = {1.0f, -2.0f, 3.5f};
+  st.loss_history = {9.0f, 8.5f, 8.0f};
+  st.prior_losses = {4.0f, 3.0f};
+  st.dataset_size = 120;
+  return st;
+}
+
+TEST(TrainState, RoundTripPreservesEveryField) {
+  const std::string path = "/tmp/nettag_trainstate_rt.bin";
+  const TrainState st = sample_train_state();
+  save_train_state(path, st);
+  const TrainState back = load_train_state(path);
+  EXPECT_EQ(back.phase, st.phase);
+  EXPECT_EQ(back.next_step, st.next_step);
+  EXPECT_EQ(back.rng_state, st.rng_state);
+  EXPECT_EQ(back.adam_t, st.adam_t);
+  ASSERT_EQ(back.adam_m.size(), 1u);
+  EXPECT_EQ(back.adam_m[0].v, st.adam_m[0].v);
+  EXPECT_EQ(back.adam_m[0].rows, st.adam_m[0].rows);
+  EXPECT_EQ(back.adam_v[0].v, st.adam_v[0].v);
+  EXPECT_EQ(back.extra_params, st.extra_params);
+  EXPECT_EQ(back.loss_history, st.loss_history);
+  EXPECT_EQ(back.prior_losses, st.prior_losses);
+  EXPECT_EQ(back.dataset_size, st.dataset_size);
+  std::remove(path.c_str());
+}
+
+TEST(TrainState, TruncationAtEveryByteRejected) {
+  const std::string path = "/tmp/nettag_trainstate_crash.bin";
+  save_train_state(path, sample_train_state());
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 16u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_file(path, bytes.substr(0, len));
+    EXPECT_THROW(load_train_state(path), std::runtime_error)
+        << "truncated to " << len << " of " << bytes.size() << " bytes";
+  }
+  std::string padded = bytes;
+  padded.push_back('x');
+  write_file(path, padded);
+  EXPECT_THROW(load_train_state(path), std::runtime_error);
+  write_file(path, bytes);
+  EXPECT_EQ(load_train_state(path).phase, "tag");
+  std::remove(path.c_str());
+}
+
+// --- read_checkpoint_config validation ---------------------------------------
+
+std::string config_error(const std::string& prefix) {
+  try {
+    read_checkpoint_config(prefix);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Serialize, CheckpointConfigRejectsDuplicateKeysWithLines) {
+  const std::string prefix = "/tmp/nettag_ckpt_dup";
+  save_manifest(prefix + ".ckpt", {{"format", "nettag-ckpt-v1"},
+                                   {"out_dim", "48"},
+                                   {"out_dim", "64"}});
+  const std::string err = config_error(prefix);
+  EXPECT_NE(err.find("duplicate key 'out_dim'"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;   // the duplicate
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;   // the original
+  std::remove((prefix + ".ckpt").c_str());
+}
+
+TEST(Serialize, CheckpointConfigRejectsBadIntegers) {
+  const std::string prefix = "/tmp/nettag_ckpt_badint";
+  for (const char* bad : {"banana", "0", "-3", "12junk", "99999999999"}) {
+    save_manifest(prefix + ".ckpt",
+                  {{"format", "nettag-ckpt-v1"}, {"tag_layers", bad}});
+    const std::string err = config_error(prefix);
+    EXPECT_NE(err.find("tag_layers"), std::string::npos)
+        << "value '" << bad << "': " << err;
+    EXPECT_FALSE(err.empty()) << "value '" << bad << "' accepted";
+  }
+  std::remove((prefix + ".ckpt").c_str());
+}
+
+TEST(Serialize, CheckpointConfigRejectsIndivisibleHeads) {
+  const std::string prefix = "/tmp/nettag_ckpt_heads";
+  save_manifest(prefix + ".ckpt", {{"format", "nettag-ckpt-v1"},
+                                   {"expr_d_model", "10"},
+                                   {"expr_num_heads", "4"}});
+  const std::string err = config_error(prefix);
+  EXPECT_NE(err.find("must divide"), std::string::npos) << err;
+  std::remove((prefix + ".ckpt").c_str());
+}
+
+TEST(Serialize, CheckpointConfigRejectsBadBoolean) {
+  const std::string prefix = "/tmp/nettag_ckpt_bool";
+  save_manifest(prefix + ".ckpt", {{"format", "nettag-ckpt-v1"},
+                                   {"use_text_attributes", "yes"}});
+  const std::string err = config_error(prefix);
+  EXPECT_NE(err.find("use_text_attributes"), std::string::npos) << err;
+  std::remove((prefix + ".ckpt").c_str());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // batching, caching, admission gate, error taxonomy, and observability.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <string>
@@ -586,6 +587,152 @@ TEST(Server, ShutdownSetsFlagAndStillAnswers) {
   std::string err;
   ASSERT_TRUE(Json::parse(line, &j, &err)) << err;
   EXPECT_EQ(j.find("status")->as_string(), "ok");
+}
+
+// --- hot reload --------------------------------------------------------------
+
+Request reload_request(const std::string& prefix = "") {
+  Request r;
+  r.op = Op::kReload;
+  r.model_prefix = prefix;
+  return r;
+}
+
+/// Saves a servable checkpoint for a tiny model built from `seed`.
+std::string save_tiny_checkpoint(const std::string& prefix,
+                                 std::uint64_t seed) {
+  const NetTag model(tiny_config(), seed);
+  save_checkpoint(model, prefix);
+  return prefix;
+}
+
+void remove_tiny_checkpoint(const std::string& prefix) {
+  for (const char* suffix : {".ckpt", ".exprllm.bin", ".tagformer.bin"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(Server, ReloadSameWeightsKeepsCacheHits) {
+  const std::string prefix = save_tiny_checkpoint("/tmp/nettag_reload_same", 21);
+  ServerConfig sc;
+  sc.model_prefix = prefix;
+  Server server(sc, load_checkpoint(prefix));
+
+  const Response first = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(first.ok()) << first.error_message;
+  EXPECT_FALSE(first.cached);
+
+  // Prefix-less reload falls back to the configured default, which holds the
+  // same weights — every cache entry must stay live.
+  const Response rl = server.submit(reload_request());
+  ASSERT_TRUE(rl.ok()) << rl.error_message;
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(rl.result_json, &j, &err)) << err;
+  EXPECT_FALSE(j.find("params_changed")->as_bool());
+  EXPECT_EQ(server.reloads(), 1u);
+
+  const Response second = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.result_json, first.result_json);
+  remove_tiny_checkpoint(prefix);
+}
+
+TEST(Server, ReloadNewWeightsNeverReplaysStaleEntries) {
+  const std::string old_prefix =
+      save_tiny_checkpoint("/tmp/nettag_reload_old", 21);
+  const std::string new_prefix =
+      save_tiny_checkpoint("/tmp/nettag_reload_new", 3737);  // different weights
+  ServerConfig sc;
+  sc.model_prefix = old_prefix;
+  Server server(sc, load_checkpoint(old_prefix));
+
+  const Response before = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(before.ok());
+
+  const Response rl = server.submit(reload_request(new_prefix));
+  ASSERT_TRUE(rl.ok()) << rl.error_message;
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(rl.result_json, &j, &err)) << err;
+  EXPECT_TRUE(j.find("params_changed")->as_bool());
+
+  // Same netlist, new generation: must be recomputed (never the old bytes),
+  // and then cached under the new weights.
+  const Response after = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.cached);
+  EXPECT_NE(after.result_json, before.result_json);
+  const Response again = server.submit(embed_request(kAndNetlist));
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.result_json, after.result_json);
+
+  remove_tiny_checkpoint(old_prefix);
+  remove_tiny_checkpoint(new_prefix);
+}
+
+TEST(Server, FailedReloadKeepsServingOldModel) {
+  const std::string prefix = save_tiny_checkpoint("/tmp/nettag_reload_keep", 21);
+  ServerConfig sc;
+  sc.model_prefix = prefix;
+  Server server(sc, load_checkpoint(prefix));
+  const Response before = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(before.ok());
+
+  const Response rl =
+      server.submit(reload_request("/tmp/definitely_missing_nettag_ckpt"));
+  EXPECT_EQ(rl.error, ErrorCode::kReloadFailed);
+  EXPECT_EQ(server.reloads(), 0u);
+
+  // The old generation (and its cache entries) keep answering.
+  const Response after = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.cached);
+  EXPECT_EQ(after.result_json, before.result_json);
+  remove_tiny_checkpoint(prefix);
+}
+
+TEST(Server, ReloadWithoutAnyPrefixRejected) {
+  auto server = make_server();  // no config.model_prefix
+  const Response rl = server->submit(reload_request());
+  EXPECT_EQ(rl.error, ErrorCode::kBadRequest);
+}
+
+TEST(Server, StatsReportReloadFields) {
+  auto server = make_server();
+  const Response stats = server->submit([] {
+    Request r;
+    r.op = Op::kStats;
+    return r;
+  }());
+  ASSERT_TRUE(stats.ok());
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(stats.result_json, &j, &err)) << err;
+  ASSERT_NE(j.find("reloads"), nullptr);
+  EXPECT_EQ(j.find("reloads")->as_int(), 0);
+  ASSERT_NE(j.find("weights_crc32"), nullptr);
+  EXPECT_EQ(j.find("weights_crc32")->as_string().size(), 8u);
+}
+
+TEST(Protocol, ReloadRequestParsing) {
+  const Request ok = serve::parse_request(
+      R"({"op":"reload","model_prefix":"/tmp/ck"})");
+  EXPECT_EQ(ok.op, Op::kReload);
+  EXPECT_EQ(ok.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(ok.model_prefix, "/tmp/ck");
+
+  const Request bare = serve::parse_request(R"({"op":"reload"})");
+  EXPECT_EQ(bare.parse_error, ErrorCode::kNone);  // default prefix may apply
+  EXPECT_TRUE(bare.model_prefix.empty());
+
+  const Request empty = serve::parse_request(
+      R"({"op":"reload","model_prefix":""})");
+  EXPECT_EQ(empty.parse_error, ErrorCode::kBadRequest);
+  const Request mistyped = serve::parse_request(
+      R"({"op":"reload","model_prefix":7})");
+  EXPECT_EQ(mistyped.parse_error, ErrorCode::kBadRequest);
 }
 
 }  // namespace

@@ -35,6 +35,7 @@
 #include "core/dataset.hpp"
 #include "core/tag.hpp"
 #include "netlist/io.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace fs = std::filesystem;
@@ -167,6 +168,15 @@ int main(int argc, char** argv) {
     }
     return argv[i + 1];
   };
+  auto need_int = [&](int i, long long lo, long long hi) -> long long {
+    long long v = 0;
+    std::string err;
+    if (!cli::parse_int(need_value(i), lo, hi, &v, &err)) {
+      std::fprintf(stderr, "nettag_lint: %s: %s\n", argv[i], err.c_str());
+      std::exit(2);
+    }
+    return v;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -179,7 +189,7 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--no-physical")) {
       with_physical = false;
     } else if (!std::strcmp(arg, "--max-fanout")) {
-      opts.max_fanout = static_cast<std::size_t>(std::strtoul(need_value(i), nullptr, 10));
+      opts.max_fanout = static_cast<std::size_t>(need_int(i, 1, 1 << 20));
       ++i;
     } else if (!std::strcmp(arg, "--disable")) {
       opts.disabled.insert(need_value(i));
@@ -189,10 +199,14 @@ int main(int argc, char** argv) {
       generate_dir = need_value(i);
       ++i;
     } else if (!std::strcmp(arg, "--designs")) {
-      designs_per_family = std::atoi(need_value(i));
+      designs_per_family = static_cast<int>(need_int(i, 1, 1 << 20));
       ++i;
     } else if (!std::strcmp(arg, "--seed")) {
-      seed = std::strtoull(need_value(i), nullptr, 0);
+      std::string err;
+      if (!cli::parse_u64(need_value(i), &seed, &err)) {
+        std::fprintf(stderr, "nettag_lint: --seed: %s\n", err.c_str());
+        return 2;
+      }
       ++i;
     } else if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
       usage(stdout);

@@ -23,7 +23,9 @@
 //   --seed S               generation/training seed (default 0x5eed)
 //   --designs N            designs per family (default 1)
 //
-// The daemon exits 0 on EOF or a `shutdown` request. Bad requests are
+// The daemon exits 0 on EOF or a `shutdown` request. A `reload` request
+// hot-swaps the model from a checkpoint prefix (default: the --model prefix)
+// without dropping in-flight work. Bad requests are
 // per-request error responses, never daemon failures. The stdin loop is
 // deliberately serial — each line is processed to completion before the
 // next is read, so wire-path batches always have size 1 and a replayed
@@ -38,6 +40,7 @@
 
 #include "core/pretrain.hpp"
 #include "serve/server.hpp"
+#include "util/cli.hpp"
 #include "util/timer.hpp"
 
 using namespace nettag;
@@ -160,11 +163,10 @@ int main(int argc, char** argv) {
     return argv[i + 1];
   };
   auto need_count = [&](int i) -> std::size_t {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(need_value(i), &end, 10);
-    if (!end || *end || v == 0) {
-      std::fprintf(stderr, "nettag_serve: %s needs a positive integer\n",
-                   argv[i]);
+    long long v = 0;
+    std::string err;
+    if (!cli::parse_int(need_value(i), 1, 1LL << 40, &v, &err)) {
+      std::fprintf(stderr, "nettag_serve: %s: %s\n", argv[i], err.c_str());
       std::exit(2);
     }
     return static_cast<std::size_t>(v);
@@ -199,10 +201,20 @@ int main(int argc, char** argv) {
       log_path = need_value(i);
       ++i;
     } else if (!std::strcmp(arg, "--seed")) {
-      seed = std::strtoull(need_value(i), nullptr, 0);
+      std::string err;
+      if (!cli::parse_u64(need_value(i), &seed, &err)) {
+        std::fprintf(stderr, "nettag_serve: --seed: %s\n", err.c_str());
+        return 2;
+      }
       ++i;
     } else if (!std::strcmp(arg, "--designs")) {
-      designs = std::atoi(need_value(i));
+      std::string err;
+      long long v = 0;
+      if (!cli::parse_int(need_value(i), 1, 1 << 20, &v, &err)) {
+        std::fprintf(stderr, "nettag_serve: --designs: %s\n", err.c_str());
+        return 2;
+      }
+      designs = static_cast<int>(v);
       ++i;
     } else {
       std::fprintf(stderr, "nettag_serve: unknown flag %s\n", arg);
@@ -227,5 +239,9 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
+  // The startup checkpoint doubles as the default `reload` target, so a
+  // prefix-less reload request re-reads whatever the daemon was started from
+  // (the common "the trainer just updated the checkpoint" case).
+  config.model_prefix = model_prefix;
   return run_serve(model_prefix, config, text_cache_entries, log_path);
 }

@@ -1,0 +1,290 @@
+// nettag_train — crash-safe pre-training driver (docs/ARCHITECTURE.md §8).
+//
+// Modes:
+//   nettag_train --out PREFIX [flags]     build a corpus, pre-train NetTAG,
+//                                         and checkpoint under PREFIX
+//   nettag_train --resume PREFIX          continue an interrupted run from
+//                                         its last checkpoint; the final
+//                                         state is bit-identical to the
+//                                         uninterrupted run (same
+//                                         NETTAG_THREADS width)
+//   nettag_train --help                   usage (exit 0)
+//
+// Flags (--out only — a resume replays the recorded run exactly):
+//   --seed S              corpus/model seed (default 0x5eed)
+//   --designs N           designs per family (default 1)
+//   --tiny                compact ExprLLM (CI-scale runs)
+//   --no-align            drop objective #3 and the physical flow
+//   --expr-steps N        step-1 iteration count
+//   --tag-steps N         step-2 iteration count
+// Flags (both modes):
+//   --checkpoint-every N  also checkpoint every N steps of a phase
+//                         (phase boundaries and stop always checkpoint)
+//   --halt-after N        stop cleanly after N loop steps (test hook; acts
+//                         exactly like a signal at a deterministic point)
+//
+// A fresh run first writes `<PREFIX>.run` — a checksummed manifest of the
+// corpus/training knobs — so `--resume PREFIX` can rebuild the exact same
+// corpus and option set without the user re-typing (and possibly mistyping)
+// them. Architecture comes from `<PREFIX>.ckpt` via read_checkpoint_config.
+//
+// SIGINT/SIGTERM are handled cooperatively: the loop finishes the step in
+// flight, writes a checkpoint, and the tool exits 0 with a "resume with"
+// hint. No signal ever tears a file or loses more than one step.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/pretrain.hpp"
+#include "nn/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/signal.hpp"
+#include "util/timer.hpp"
+
+using namespace nettag;
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: nettag_train --out PREFIX [--seed S] [--designs N]\n"
+               "                    [--tiny] [--no-align] [--expr-steps N]\n"
+               "                    [--tag-steps N] [--checkpoint-every N]\n"
+               "                    [--halt-after N]\n"
+               "       nettag_train --resume PREFIX [--checkpoint-every N]\n"
+               "                    [--halt-after N]\n"
+               "       nettag_train --help\n"
+               "\n"
+               "Pre-trains NetTAG with crash-safe checkpoints under PREFIX\n"
+               "(PREFIX.ckpt + .exprllm.bin/.tagformer.bin/.trainer.bin plus\n"
+               "a PREFIX.run manifest of the run parameters). SIGINT/SIGTERM\n"
+               "finish the current step, checkpoint, and exit 0; --resume\n"
+               "continues bit-identically. See docs/ARCHITECTURE.md sec. 8.\n");
+}
+
+/// The run parameters a resume must replay exactly. Recorded in
+/// `<prefix>.run` before the first training step so the prefix is resumable
+/// from the very first checkpoint.
+struct RunSpec {
+  std::uint64_t seed = 0x5eed;
+  int designs = 1;
+  bool tiny = false;
+  bool align = true;
+  int expr_steps = -1;  ///< -1: PretrainOptions default (resolved on write)
+  int tag_steps = -1;
+};
+
+std::string run_manifest_path(const std::string& prefix) {
+  return prefix + ".run";
+}
+
+void write_run_manifest(const std::string& prefix, const RunSpec& s) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.emplace_back("format", "1");
+  entries.emplace_back("seed", std::to_string(s.seed));
+  entries.emplace_back("designs", std::to_string(s.designs));
+  entries.emplace_back("tiny", s.tiny ? "1" : "0");
+  entries.emplace_back("align", s.align ? "1" : "0");
+  entries.emplace_back("expr_steps", std::to_string(s.expr_steps));
+  entries.emplace_back("tag_steps", std::to_string(s.tag_steps));
+  save_manifest(run_manifest_path(prefix), entries);
+}
+
+RunSpec read_run_manifest(const std::string& prefix) {
+  const std::string path = run_manifest_path(prefix);
+  auto fail = [&](const std::string& why) -> std::runtime_error {
+    return std::runtime_error(path + ": " + why);
+  };
+  std::map<std::string, std::string> kv;
+  for (const auto& [key, value] : load_manifest(path)) {
+    if (!kv.emplace(key, value).second) throw fail("duplicate key '" + key + "'");
+  }
+  auto get = [&](const char* key) -> const std::string& {
+    auto it = kv.find(key);
+    if (it == kv.end()) throw fail(std::string("missing key '") + key + "'");
+    return it->second;
+  };
+  if (get("format") != "1") throw fail("unknown format '" + get("format") + "'");
+  RunSpec s;
+  std::string err;
+  if (!cli::parse_u64(get("seed").c_str(), &s.seed, &err)) throw fail(err);
+  long long v = 0;
+  auto get_int = [&](const char* key, long long lo, long long hi) -> long long {
+    if (!cli::parse_int(get(key).c_str(), lo, hi, &v, &err)) {
+      throw fail(std::string("key '") + key + "': " + err);
+    }
+    return v;
+  };
+  s.designs = static_cast<int>(get_int("designs", 1, 1 << 20));
+  s.tiny = get_int("tiny", 0, 1) != 0;
+  s.align = get_int("align", 0, 1) != 0;
+  s.expr_steps = static_cast<int>(get_int("expr_steps", 0, 1 << 20));
+  s.tag_steps = static_cast<int>(get_int("tag_steps", 0, 1 << 20));
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_prefix, resume_prefix;
+  RunSpec spec;
+  int checkpoint_every = 0;
+  long halt_after = -1;
+  // A resume replays the recorded run; run-shaping flags next to --resume
+  // are almost certainly a mistake, so they are rejected instead of being
+  // silently ignored (they could not be honored bit-identically anyway).
+  std::vector<const char*> run_flags_seen;
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "nettag_train: %s requires a value\n", argv[i]);
+      usage(stderr);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  auto need_int = [&](int i, long long lo, long long hi) -> long long {
+    long long v = 0;
+    std::string err;
+    if (!cli::parse_int(need_value(i), lo, hi, &v, &err)) {
+      std::fprintf(stderr, "nettag_train: %s: %s\n", argv[i], err.c_str());
+      std::exit(2);
+    }
+    return v;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--help") || !std::strcmp(arg, "-h")) {
+      usage(stdout);
+      return 0;
+    } else if (!std::strcmp(arg, "--out")) {
+      out_prefix = need_value(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--resume")) {
+      resume_prefix = need_value(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--seed")) {
+      std::string err;
+      if (!cli::parse_u64(need_value(i), &spec.seed, &err)) {
+        std::fprintf(stderr, "nettag_train: --seed: %s\n", err.c_str());
+        return 2;
+      }
+      run_flags_seen.push_back(arg);
+      ++i;
+    } else if (!std::strcmp(arg, "--designs")) {
+      spec.designs = static_cast<int>(need_int(i, 1, 1 << 20));
+      run_flags_seen.push_back(arg);
+      ++i;
+    } else if (!std::strcmp(arg, "--tiny")) {
+      spec.tiny = true;
+      run_flags_seen.push_back(arg);
+    } else if (!std::strcmp(arg, "--no-align")) {
+      spec.align = false;
+      run_flags_seen.push_back(arg);
+    } else if (!std::strcmp(arg, "--expr-steps")) {
+      spec.expr_steps = static_cast<int>(need_int(i, 0, 1 << 20));
+      run_flags_seen.push_back(arg);
+      ++i;
+    } else if (!std::strcmp(arg, "--tag-steps")) {
+      spec.tag_steps = static_cast<int>(need_int(i, 0, 1 << 20));
+      run_flags_seen.push_back(arg);
+      ++i;
+    } else if (!std::strcmp(arg, "--checkpoint-every")) {
+      checkpoint_every = static_cast<int>(need_int(i, 1, 1 << 30));
+      ++i;
+    } else if (!std::strcmp(arg, "--halt-after")) {
+      halt_after = static_cast<long>(need_int(i, 0, 1LL << 40));
+      ++i;
+    } else {
+      std::fprintf(stderr, "nettag_train: unknown flag %s\n", arg);
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const bool resuming = !resume_prefix.empty();
+  if (resuming == !out_prefix.empty()) {
+    std::fprintf(stderr, "nettag_train: exactly one of --out / --resume is required\n");
+    usage(stderr);
+    return 2;
+  }
+  if (resuming && !run_flags_seen.empty()) {
+    std::fprintf(stderr,
+                 "nettag_train: %s conflicts with --resume (the run's "
+                 "parameters are replayed from %s)\n",
+                 run_flags_seen.front(),
+                 run_manifest_path(resume_prefix).c_str());
+    return 2;
+  }
+  const std::string prefix = resuming ? resume_prefix : out_prefix;
+
+  NetTagConfig mc;
+  try {
+    if (resuming) {
+      spec = read_run_manifest(prefix);
+      mc = read_checkpoint_config(prefix);
+    } else {
+      if (spec.tiny) mc.expr_llm = TextEncoderConfig::tiny();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nettag_train: cannot resume '%s': %s\n",
+                 prefix.c_str(), e.what());
+    return 2;
+  }
+
+  PretrainOptions po;
+  if (spec.expr_steps >= 0) po.expr_steps = spec.expr_steps;
+  if (spec.tag_steps >= 0) po.tag_steps = spec.tag_steps;
+  spec.expr_steps = po.expr_steps;  // resolve defaults so the manifest is exact
+  spec.tag_steps = po.tag_steps;
+  po.objective_align = spec.align;
+  if (!spec.align) po.aux_steps = 0;
+  po.checkpoint.prefix = prefix;
+  po.checkpoint.every = checkpoint_every;
+  po.checkpoint.halt_after_steps = halt_after;
+  po.checkpoint.stop = install_stop_signals();
+
+  Rng rng(spec.seed);
+  CorpusOptions co;
+  co.designs_per_family = spec.designs;
+  co.with_physical = spec.align;
+  std::fprintf(stderr, "nettag_train: building corpus (seed %#llx, %d design(s) per family)...\n",
+               static_cast<unsigned long long>(spec.seed), spec.designs);
+  const Corpus corpus = build_corpus(co, rng);
+
+  NetTag model(mc, spec.seed ^ 0x7a67);
+  Timer t;
+  PretrainReport report;
+  try {
+    if (resuming) {
+      std::fprintf(stderr, "nettag_train: resuming from '%s'...\n", prefix.c_str());
+      report = resume_pretrain(model, corpus, po, rng);
+    } else {
+      write_run_manifest(prefix, spec);
+      std::fprintf(stderr, "nettag_train: pre-training (%d expr + %d tag steps)...\n",
+                   po.expr_steps, po.tag_steps);
+      report = pretrain(model, corpus, po, rng);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nettag_train: %s failed: %s\n",
+                 resuming ? "resume" : "pre-training", e.what());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "nettag_train: %s after %.1fs; expr loss %.3f -> %.3f, "
+               "tag loss %.3f -> %.3f (%zu expr / %zu tag steps recorded)\n",
+               report.interrupted ? "interrupted (checkpoint saved)" : "completed",
+               t.seconds(), report.expr_loss_first, report.expr_loss_last,
+               report.tag_loss_first, report.tag_loss_last,
+               report.expr_losses.size(), report.tag_losses.size());
+  if (report.interrupted) {
+    std::fprintf(stderr, "nettag_train: resume with: nettag_train --resume %s\n",
+                 prefix.c_str());
+  }
+  return 0;
+}
