@@ -1,8 +1,20 @@
-// Component micro-benchmarks (google-benchmark): throughput of the pipeline
-// stages the paper's runtime analysis attributes cost to (Table VI
-// discussion) plus the k-hop sweep behind the paper's footnote 3 ("we choose
-// 2-hop to balance the expression expansion and runtime").
+// Component micro-benchmarks: throughput of the pipeline stages the paper's
+// runtime analysis attributes cost to (Table VI discussion) plus the k-hop
+// sweep behind the paper's footnote 3 ("we choose 2-hop to balance the
+// expression expansion and runtime").
+//
+// The custom main first times the GEMM kernel backends head-to-head
+// (scalar vs AVX2 vs int8-packed, docs/PERFORMANCE.md §6) and writes the
+// machine-readable snapshot BENCH_micro_components.json to the working
+// directory, then hands over to the google-benchmark suite for the
+// pipeline-stage benches.
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/nettag.hpp"
 #include "core/tag.hpp"
@@ -10,8 +22,11 @@
 #include "expr/transform.hpp"
 #include "netlist/aig.hpp"
 #include "netlist/cone.hpp"
+#include "nn/gemm.hpp"
+#include "nn/packed.hpp"
 #include "physical/flow.hpp"
 #include "rtlgen/generator.hpp"
+#include "util/timer.hpp"
 
 using namespace nettag;
 
@@ -120,6 +135,140 @@ void BM_AigConversion(benchmark::State& state) {
 }
 BENCHMARK(BM_AigConversion);
 
+// --- GEMM backend head-to-head (hand-rolled: needs backend switching) --------
+
+struct GemmResult {
+  std::string kernel;   // "gemm_nn" | "gemm_nt" | "gemm_tn" | "packed_int8"
+  std::string backend;  // "scalar" | "avx2"
+  int n, k, m;
+  double gflops = 0.0;
+};
+
+Mat bench_mat(int rows, int cols, Rng& rng) {
+  Mat x(rows, cols);
+  for (float& v : x.v) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return x;
+}
+
+/// Times `fn` (one full C += A*B pass per call) until ~0.2s elapse and
+/// returns GFLOP/s for a 2*n*k*m-flop product.
+template <typename Fn>
+double time_gflops(int n, int k, int m, Fn&& fn) {
+  const double flops = 2.0 * n * k * m;
+  fn();  // warm-up (first-touch, dispatch resolution)
+  int iters = 0;
+  Timer t;
+  do {
+    fn();
+    ++iters;
+  } while (t.seconds() < 0.2);
+  return flops * iters / t.seconds() / 1e9;
+}
+
+/// Shapes matching the model's real products: d_model-sized encoder blocks
+/// and the wide token-batch panels of the text encoder.
+const struct { int n, k, m; } kGemmShapes[] = {
+    {64, 64, 64}, {256, 128, 128}, {512, 64, 256}};
+
+std::vector<GemmResult> run_gemm_benches() {
+  std::vector<GemmResult> out;
+  Rng rng(42);
+  const SimdBackend saved = simd_backend();
+  for (const auto& s : kGemmShapes) {
+    const Mat a = bench_mat(s.n, s.k, rng);
+    const Mat b = bench_mat(s.k, s.m, rng);
+    const Mat g = bench_mat(s.n, s.m, rng);
+    const PackedMat pb = pack_int8(b);
+    std::vector<SimdBackend> backends{SimdBackend::kScalar};
+    if (simd_avx2_supported()) backends.push_back(SimdBackend::kAvx2);
+    for (SimdBackend backend : backends) {
+      set_simd_backend(backend);
+      const char* name = simd_backend_name(backend);
+      Mat c(s.n, s.m), ca(s.n, s.k), cb(s.k, s.m);
+      out.push_back({"gemm_nn", name, s.n, s.k, s.m,
+                     time_gflops(s.n, s.k, s.m, [&] {
+                       gemm_nn(s.n, s.k, s.m, a.v.data(), b.v.data(),
+                               c.v.data());
+                     })});
+      out.push_back({"gemm_nt", name, s.n, s.k, s.m,
+                     time_gflops(s.n, s.k, s.m, [&] {
+                       gemm_nt(s.n, s.k, s.m, g.v.data(), b.v.data(),
+                               ca.v.data());
+                     })});
+      out.push_back({"gemm_tn", name, s.n, s.k, s.m,
+                     time_gflops(s.n, s.k, s.m, [&] {
+                       gemm_tn(s.n, s.k, s.m, a.v.data(), g.v.data(),
+                               cb.v.data());
+                     })});
+      Mat cq(s.n, s.m);
+      out.push_back({"packed_int8", name, s.n, s.k, s.m,
+                     time_gflops(s.n, s.k, s.m,
+                                 [&] { packed_matmul(a, pb, &cq); })});
+    }
+  }
+  set_simd_backend(saved);
+  return out;
+}
+
+/// Geometric-mean AVX2/scalar speedup for one kernel across shapes.
+double speedup_of(const std::vector<GemmResult>& rs, const std::string& kernel) {
+  double log_sum = 0.0;
+  int pairs = 0;
+  for (const GemmResult& r : rs) {
+    if (r.kernel != kernel || r.backend != "avx2") continue;
+    for (const GemmResult& s : rs) {
+      if (s.kernel == kernel && s.backend == "scalar" && s.n == r.n &&
+          s.k == r.k && s.m == r.m && s.gflops > 0) {
+        log_sum += std::log(r.gflops / s.gflops);
+        ++pairs;
+      }
+    }
+  }
+  return pairs ? std::exp(log_sum / pairs) : 0.0;
+}
+
+void write_gemm_json(const std::vector<GemmResult>& rs) {
+  std::ofstream json("BENCH_micro_components.json");
+  json << "{\n  \"bench\": \"micro_components\",\n  \"simd_supported\": "
+       << (simd_avx2_supported() ? "true" : "false")
+       << ",\n  \"default_backend\": \"" << simd_backend_name()
+       << "\",\n  \"gemm\": [";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const GemmResult& r = rs[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", r.gflops);
+    json << (i ? "," : "") << "\n    {\"kernel\": \"" << r.kernel
+         << "\", \"backend\": \"" << r.backend << "\", \"n\": " << r.n
+         << ", \"k\": " << r.k << ", \"m\": " << r.m
+         << ", \"gflops\": " << buf << "}";
+  }
+  char nn[32], nt[32], tn[32];
+  std::snprintf(nn, sizeof(nn), "%.2f", speedup_of(rs, "gemm_nn"));
+  std::snprintf(nt, sizeof(nt), "%.2f", speedup_of(rs, "gemm_nt"));
+  std::snprintf(tn, sizeof(tn), "%.2f", speedup_of(rs, "gemm_tn"));
+  json << "\n  ],\n  \"avx2_speedup_geomean\": {\"gemm_nn\": " << nn
+       << ", \"gemm_nt\": " << nt << ", \"gemm_tn\": " << tn << "}\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::vector<GemmResult> gemm = run_gemm_benches();
+  for (const GemmResult& r : gemm) {
+    std::printf("# %-12s %-6s %4dx%3dx%3d  %8.3f GFLOP/s\n", r.kernel.c_str(),
+                r.backend.c_str(), r.n, r.k, r.m, r.gflops);
+  }
+  if (simd_avx2_supported()) {
+    std::printf("# avx2/scalar geomean speedup: nn %.2fx nt %.2fx tn %.2fx\n",
+                speedup_of(gemm, "gemm_nn"), speedup_of(gemm, "gemm_nt"),
+                speedup_of(gemm, "gemm_tn"));
+  }
+  write_gemm_json(gemm);
+  std::printf("# JSON written to BENCH_micro_components.json\n");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

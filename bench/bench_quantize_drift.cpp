@@ -1,0 +1,159 @@
+// Int8 accuracy-drift audit: Tasks 1-4 evaluated twice on the same weights —
+// once through the fp32 kernels, once with the encoder's int8 packed-weight
+// copies attached (exactly what `nettag_serve --quantize` serves). Identical
+// seeds per arm give identical corpus splits and head initializations, so the
+// only varying factor is the numeric path of the frozen encoder.
+//
+// Output: BENCH_quantize_drift.json in the working directory, with each
+// task's headline metric per arm and the signed delta (int8 - fp32). The
+// documented budget (docs/PERFORMANCE.md §5) bounds DEGRADATION: int8 may
+// score below fp32 by at most kAccuracyBudget on accuracy-like metrics and
+// kPearsonBudget on correlations; the exit code reports a violation.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "nn/gemm.hpp"
+#include "nn/packed.hpp"
+#include "tasks/task1.hpp"
+#include "tasks/task2.hpp"
+#include "tasks/task3.hpp"
+#include "tasks/task4.hpp"
+
+using namespace nettag;
+
+namespace {
+
+constexpr double kAccuracyBudget = 0.05;  ///< |Δ| bound for [0,1] metrics
+constexpr double kPearsonBudget = 0.10;   ///< |Δ| bound for correlations
+
+struct DriftRow {
+  std::string task;
+  std::string metric;
+  double fp32 = 0.0;
+  double int8 = 0.0;
+  double budget = kAccuracyBudget;
+  /// Signed: negative means int8 scored below fp32.
+  double delta() const { return int8 - fp32; }
+  /// The budget bounds DEGRADATION. All tracked metrics are
+  /// higher-is-better, and head fine-tuning on a tiny corpus is noisy in
+  /// both directions — an int8 arm that happens to score above fp32 is
+  /// sampling noise, not quantization damage.
+  bool within_budget() const { return delta() >= -budget; }
+};
+
+/// One full Task 1-4 sweep at fixed seeds. The caller flips the numeric
+/// path (pack / unpack) between sweeps.
+struct SweepResult {
+  Task1Result t1;
+  Task2Result t2;
+  Task3Result t3;
+  Task4Result t4;
+};
+
+SweepResult run_sweep(NetTag& model, const Corpus& corpus) {
+  SweepResult r;
+  Task1Options o1;
+  o1.num_test_designs = 3;
+  o1.gnn_steps = 40;
+  Task2Options o2;
+  o2.num_test_designs = 3;
+  o2.gnn_steps = 40;
+  Task3Options o3;
+  o3.num_test_designs = 3;
+  o3.gnn_steps = 60;
+  Task4Options o4;
+  o4.gnn_steps = 40;
+  // Fresh deterministic Rng per task: both arms see identical splits.
+  Rng r1(1001), r2(1002), r3(1003), r4(1004);
+  r.t1 = run_task1(model, corpus, o1, r1);
+  r.t2 = run_task2(model, corpus, o2, r2);
+  r.t3 = run_task3(model, corpus, o3, r3);
+  r.t4 = run_task4(model, corpus, o4, r4);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  PretrainOptions po;
+  po.expr_steps = 10;
+  po.tag_steps = 8;
+  po.aux_steps = 0;
+  po.max_expressions = 160;
+  po.max_cones = 16;
+  NetTagConfig mc;
+  mc.expr_llm = TextEncoderConfig::tiny();
+  bench::Setup setup = bench::make_setup(2, po, mc);
+  NetTag& model = *setup.model;
+
+  std::printf("# fp32 arm (backend %s)...\n", simd_backend_name());
+  const SweepResult fp32 = run_sweep(model, setup.corpus);
+
+  // Attach the int8 copies and drop the fp32-computed text-embedding cache
+  // so the second arm recomputes everything through the packed path.
+  const PackStats ps = pack_model_weights(model);
+  model.clear_text_cache();
+  std::printf("# int8 arm (%zu matrices packed, %zu skipped, %.1f KiB)...\n",
+              ps.packed, ps.skipped, static_cast<double>(ps.bytes) / 1024.0);
+  const SweepResult int8 = run_sweep(model, setup.corpus);
+
+  std::vector<DriftRow> rows = {
+      {"task1_gate_function", "accuracy", fp32.t1.nettag_avg.accuracy,
+       int8.t1.nettag_avg.accuracy, kAccuracyBudget},
+      {"task1_gate_function", "f1", fp32.t1.nettag_avg.f1,
+       int8.t1.nettag_avg.f1, kAccuracyBudget},
+      {"task2_state_registers", "balanced_accuracy",
+       fp32.t2.nettag_avg.balanced_accuracy,
+       int8.t2.nettag_avg.balanced_accuracy, kAccuracyBudget},
+      {"task3_slack", "pearson_r", fp32.t3.nettag_avg.pearson_r,
+       int8.t3.nettag_avg.pearson_r, kPearsonBudget},
+      {"task4_area_w_opt", "pearson_r", fp32.t4.area_w_opt.nettag.pearson_r,
+       int8.t4.area_w_opt.nettag.pearson_r, kPearsonBudget},
+      {"task4_power_w_opt", "pearson_r", fp32.t4.power_w_opt.nettag.pearson_r,
+       int8.t4.power_w_opt.nettag.pearson_r, kPearsonBudget},
+  };
+
+  TextTable table;
+  table.set_header({"Task", "Metric", "fp32", "int8", "Delta", "Budget"});
+  bool all_within = true;
+  for (const DriftRow& r : rows) {
+    char f[32], q[32], d[32], b[32];
+    std::snprintf(f, sizeof(f), "%.4f", r.fp32);
+    std::snprintf(q, sizeof(q), "%.4f", r.int8);
+    std::snprintf(d, sizeof(d), "%+.4f", r.delta());
+    std::snprintf(b, sizeof(b), "-%.2f", r.budget);
+    table.add_row({r.task, r.metric, f, q, d, b});
+    all_within = all_within && r.within_budget();
+  }
+  table.print(std::cout);
+  std::cout << "# int8 drift " << (all_within ? "WITHIN" : "EXCEEDS")
+            << " the documented budget\n";
+
+  std::ofstream json("BENCH_quantize_drift.json");
+  json << "{\n  \"bench\": \"quantize_drift\",\n  \"simd\": \""
+       << simd_backend_name() << "\",\n  \"packed_matrices\": " << ps.packed
+       << ",\n  \"packed_bytes\": " << ps.bytes
+       << ",\n  \"accuracy_budget\": " << kAccuracyBudget
+       << ",\n  \"pearson_budget\": " << kPearsonBudget << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DriftRow& r = rows[i];
+    char f[32], q[32], d[32];
+    std::snprintf(f, sizeof(f), "%.6f", r.fp32);
+    std::snprintf(q, sizeof(q), "%.6f", r.int8);
+    std::snprintf(d, sizeof(d), "%.6f", r.delta());
+    json << (i ? "," : "") << "\n    {\"task\": \"" << r.task
+         << "\", \"metric\": \"" << r.metric << "\", \"fp32\": " << f
+         << ", \"int8\": " << q << ", \"delta\": " << d
+         << ", \"budget\": " << r.budget << ", \"within_budget\": "
+         << (r.within_budget() ? "true" : "false") << "}";
+  }
+  json << "\n  ],\n  \"all_within_budget\": " << (all_within ? "true" : "false")
+       << "\n}\n";
+  std::cout << "# JSON written to BENCH_quantize_drift.json\n";
+  return all_within ? 0 : 1;
+}

@@ -8,9 +8,13 @@
 //                            thread-pool regions (the throughput path);
 //   * cache_warm           — the single client replays the same requests
 //                            against the now-warm content-addressed cache:
-//                            no model work, byte-identical replays.
+//                            no model work, byte-identical replays;
+//   * quantized_int8       — one blocking client against a second server
+//                            (same weights) serving the int8 packed path,
+//                            cold cache (docs/PERFORMANCE.md §6).
 // Expectation encoded in the JSON: warm qps strictly above both cold modes.
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "nn/gemm.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -115,9 +120,18 @@ int main() {
   mc.expr_llm = TextEncoderConfig::tiny();
   bench::Setup setup = bench::make_setup(1, po, mc);
 
+  // The quantized arm needs a second model with identical weights; round-trip
+  // through a checkpoint rather than pre-training twice.
+  const std::string ckpt = "/tmp/nettag_bench_serve_ckpt";
+  save_checkpoint(*setup.model, ckpt);
+
   serve::ServerConfig sc;
   sc.cache_entries = 512;
   serve::Server server(sc, std::move(setup.model));
+
+  serve::ServerConfig qc = sc;
+  qc.quantize = true;
+  serve::Server quant_server(qc, load_checkpoint(ckpt));
 
   constexpr int kDistinct = 48;
   std::vector<serve::Request> reqs;
@@ -154,6 +168,10 @@ int main() {
   // Warm: cache now holds every request from the multi run.
   results.push_back(run_single(server, reqs, "cache_warm"));
 
+  // Int8 packed weights, cold cache, single client (directly comparable to
+  // the single_client fp32 arm).
+  results.push_back(run_single(quant_server, reqs, "quantized_int8"));
+
   TextTable table;
   table.set_header({"Mode", "Requests", "Seconds", "QPS", "Mean batch"});
   for (const RunResult& r : results) {
@@ -170,9 +188,10 @@ int main() {
   std::cout << "# cache-warm throughput " << (warm_faster ? "exceeds" : "DOES NOT exceed")
             << " both cold modes\n";
 
-  std::ofstream json("bench_serve_throughput.json");
-  json << "{\n  \"bench\": \"serve_throughput\",\n  \"distinct_requests\": "
-       << kDistinct << ",\n  \"runs\": [";
+  std::ofstream json("BENCH_serve_throughput.json");
+  json << "{\n  \"bench\": \"serve_throughput\",\n  \"simd\": \""
+       << simd_backend_name() << "\",\n  \"distinct_requests\": " << kDistinct
+       << ",\n  \"runs\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     json << (i ? "," : "") << "\n    {\"mode\": \"" << r.mode
@@ -182,6 +201,9 @@ int main() {
   }
   json << "\n  ],\n  \"warm_faster_than_cold\": "
        << (warm_faster ? "true" : "false") << "\n}\n";
-  std::cout << "# JSON written to bench_serve_throughput.json\n";
+  std::cout << "# JSON written to BENCH_serve_throughput.json\n";
+  for (const char* suffix : {".ckpt", ".exprllm.bin", ".tagformer.bin"}) {
+    std::remove((ckpt + suffix).c_str());
+  }
   return warm_faster ? 0 : 1;
 }

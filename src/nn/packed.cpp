@@ -1,0 +1,153 @@
+#include "nn/packed.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "analysis/check.hpp"
+#include "core/nettag.hpp"
+#include "nn/gemm.hpp"
+#include "util/parallel.hpp"
+
+namespace nettag {
+
+namespace {
+
+constexpr int kPadUnit = 32;  // one AVX2 register of int8 lanes
+
+int pad32(int k) { return (k + kPadUnit - 1) / kPadUnit * kPadUnit; }
+
+/// Symmetric int8 quantization of one value under a precomputed scale.
+inline std::int8_t quantize1(float v, float inv_scale) {
+  const float r = std::nearbyintf(v * inv_scale);
+  const float clamped = r > 127.f ? 127.f : (r < -127.f ? -127.f : r);
+  return static_cast<std::int8_t>(clamped);
+}
+
+inline int dot_i8_scalar(const signed char* xq, const signed char* wq,
+                         int kpad) {
+  int acc = 0;
+  for (int t = 0; t < kpad; ++t) {
+    acc += static_cast<int>(xq[t]) * static_cast<int>(wq[t]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+PackedMat pack_int8(const Mat& w) {
+  NETTAG_CHECK(w.rows >= 1 && w.rows <= kMaxPackRows,
+               "pack_int8: " + std::to_string(w.rows) +
+                   " rows outside [1, " + std::to_string(kMaxPackRows) +
+                   "] (int32 accumulator bound)");
+  PackedMat p;
+  p.rows = w.rows;
+  p.cols = w.cols;
+  p.kpad = pad32(w.rows);
+  p.q.assign(static_cast<std::size_t>(p.cols) * p.kpad, 0);
+  p.scales.assign(static_cast<std::size_t>(p.cols), 0.f);
+  for (int j = 0; j < p.cols; ++j) {
+    float absmax = 0.f;
+    for (int r = 0; r < p.rows; ++r) {
+      const float v = std::fabs(w.at(r, j));
+      if (v > absmax) absmax = v;
+    }
+    if (absmax == 0.f) continue;  // all-zero column: q stays 0, scale 0
+    const float scale = absmax / 127.f;
+    p.scales[static_cast<std::size_t>(j)] = scale;
+    const float inv = 127.f / absmax;
+    std::int8_t* qrow = p.q.data() + static_cast<std::size_t>(j) * p.kpad;
+    for (int r = 0; r < p.rows; ++r) qrow[r] = quantize1(w.at(r, j), inv);
+  }
+  return p;
+}
+
+Mat unpack_int8(const PackedMat& p) {
+  Mat w(p.rows, p.cols);
+  for (int j = 0; j < p.cols; ++j) {
+    const float scale = p.scales[static_cast<std::size_t>(j)];
+    const std::int8_t* qrow = p.q.data() + static_cast<std::size_t>(j) * p.kpad;
+    for (int r = 0; r < p.rows; ++r) {
+      w.at(r, j) = static_cast<float>(qrow[r]) * scale;
+    }
+  }
+  return w;
+}
+
+void packed_matmul(const Mat& x, const PackedMat& w, Mat* out) {
+  NETTAG_CHECK(x.cols == w.rows,
+               "packed_matmul: inner dimensions differ: " +
+                   std::to_string(x.cols) + " vs packed " +
+                   std::to_string(w.rows));
+  NETTAG_CHECK(out->rows == x.rows && out->cols == w.cols,
+               "packed_matmul: output shape " + std::to_string(out->rows) +
+                   "x" + std::to_string(out->cols) + " != " +
+                   std::to_string(x.rows) + "x" + std::to_string(w.cols));
+  const int n = x.rows, k = x.cols, m = w.cols, kpad = w.kpad;
+  const bool avx2 = simd_backend() == SimdBackend::kAvx2;
+  const std::size_t row_cost = static_cast<std::size_t>(k) * m;
+  parallel_for(
+      static_cast<std::size_t>(n), par::grain(row_cost, par::kMinOps),
+      [&, avx2](std::size_t i0, std::size_t i1) {
+        // One padded quantization buffer per task, reused across its rows.
+        std::vector<std::int8_t> xq(static_cast<std::size_t>(kpad), 0);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* xrow = x.v.data() + i * static_cast<std::size_t>(k);
+          float* orow = out->v.data() + i * static_cast<std::size_t>(m);
+          float absmax = 0.f;
+          for (int p = 0; p < k; ++p) {
+            const float v = std::fabs(xrow[p]);
+            if (v > absmax) absmax = v;
+          }
+          if (absmax == 0.f || !std::isfinite(absmax)) {
+            // All-zero rows produce zero; non-finite rows fall back to the
+            // fp32 kernel for this row so NaN/Inf propagate (deep checks
+            // would otherwise miss them behind a saturating quantizer).
+            if (absmax == 0.f) {
+              for (int j = 0; j < m; ++j) orow[j] = 0.f;
+            } else {
+              for (int j = 0; j < m; ++j) orow[j] = 0.f;
+              const Mat wf = unpack_int8(w);
+              detail::gemm_nn_scalar(0, 1, k, m, xrow, wf.v.data(), orow);
+            }
+            continue;
+          }
+          const float sx = absmax / 127.f;
+          const float inv = 127.f / absmax;
+          for (int p = 0; p < k; ++p) xq[static_cast<std::size_t>(p)] =
+              quantize1(xrow[p], inv);
+          const signed char* xqp =
+              reinterpret_cast<const signed char*>(xq.data());
+          for (int j = 0; j < m; ++j) {
+            const signed char* wq = reinterpret_cast<const signed char*>(
+                w.q.data() + static_cast<std::size_t>(j) * kpad);
+            const int acc = avx2 ? detail::dot_i8_avx2(xqp, wq, kpad)
+                                 : dot_i8_scalar(xqp, wq, kpad);
+            orow[j] = static_cast<float>(acc) * sx *
+                      w.scales[static_cast<std::size_t>(j)];
+          }
+        }
+      });
+}
+
+PackStats pack_model_weights(NetTag& model) {
+  PackStats stats;
+  auto walk = [&stats](const std::vector<Tensor>& params) {
+    for (const Tensor& p : params) {
+      const Mat& w = p->value;
+      if (w.rows < 2 || w.cols < 2 || w.rows > kMaxPackRows) {
+        p->packed.reset();
+        ++stats.skipped;
+        continue;
+      }
+      auto packed = std::make_shared<PackedMat>(pack_int8(w));
+      stats.bytes += packed->bytes();
+      p->packed = std::move(packed);
+      ++stats.packed;
+    }
+  };
+  walk(model.expr_llm().params());
+  walk(model.tagformer().params());
+  return stats;
+}
+
+}  // namespace nettag

@@ -1,0 +1,86 @@
+// Int8 packed-weight inference path (docs/PERFORMANCE.md §4).
+//
+// Modeled on marian-dev's ExpressionGraphPackable: at checkpoint-load time a
+// one-shot walk over the model's parameter matrices repacks every eligible
+// weight into a quantized, GEMM-friendly layout and attaches it to the
+// parameter's graph node. The fp32 values stay untouched — training, Adam
+// state, serialization, and the bit-identical resume contract never see the
+// packed copy — and the autograd matmul transparently prefers the packed
+// operand for its forward value when one is present.
+//
+// Packing format (PackedMat):
+//   * the weight W (K x M, as consumed by x·W) is stored TRANSPOSED: one
+//     int8 row of K values per output column, so the inner product walks
+//     both operands contiguously;
+//   * rows are padded with zeros to a multiple of 32 (one AVX2 register of
+//     int8), so the microkernel needs no tail;
+//   * symmetric per-output-column scales: scale_j = max|W[:,j]| / 127,
+//     q = round(w / scale_j) in [-127, 127]. Activations are quantized
+//     dynamically per input row with the same symmetric rule, so
+//     out[i,j] ~= (sx_i * scale_j) * sum_p xq[i,p] * wq[j,p] with the sum
+//     in exact int32 arithmetic.
+//
+// Accuracy: quantization error per weight is bounded by scale_j/2, i.e.
+// ~0.4% of the column's absmax; the serve-path drift budget this implies is
+// documented (and enforced by tests) in docs/PERFORMANCE.md §5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nettag {
+
+class NetTag;
+
+struct PackedMat {
+  int rows = 0;  ///< K: fp32 weight rows (the contraction dimension)
+  int cols = 0;  ///< M: fp32 weight cols (output channels)
+  int kpad = 0;  ///< rows rounded up to a multiple of 32
+  /// cols x kpad int8 values; row j holds column j of the fp32 weight.
+  std::vector<std::int8_t> q;
+  /// One dequantization scale per output column (0 for all-zero columns).
+  std::vector<float> scales;
+
+  std::size_t bytes() const {
+    return q.size() * sizeof(std::int8_t) + scales.size() * sizeof(float);
+  }
+};
+
+/// Largest packable contraction dimension: guarantees the int32 accumulator
+/// cannot overflow (kMaxPackRows/2 pair-sums of at most 127*127*2 each).
+constexpr int kMaxPackRows = 1 << 15;
+
+/// Quantizes and transposes one weight matrix. NETTAG_CHECKs rows in
+/// [1, kMaxPackRows].
+PackedMat pack_int8(const Mat& w);
+
+/// Dequantizes back to fp32 (testing / diagnostics). Every element satisfies
+/// |w - unpack(pack(w))[p][j]| <= scales[j] / 2.
+Mat unpack_int8(const PackedMat& p);
+
+/// out[n x m] = x[n x k] * W via the int8 path (out is overwritten).
+/// Dynamically quantizes each x row (symmetric absmax/127), runs int32 dot
+/// products against the packed rows, rescales to fp32. Dispatches between
+/// the AVX2 maddubs-style microkernel and a portable int loop with the same
+/// NETTAG_SIMD policy as the fp32 GEMM — both orders are exact in int32, so
+/// the int8 path is bit-identical across backends.
+void packed_matmul(const Mat& x, const PackedMat& w, Mat* out);
+
+/// Result of a model packing walk.
+struct PackStats {
+  std::size_t packed = 0;   ///< matrices that received an int8 copy
+  std::size_t skipped = 0;  ///< vectors/scalars/oversized matrices left fp32
+  std::size_t bytes = 0;    ///< total packed bytes attached
+};
+
+/// Walks every ExprLLM + TAGFormer parameter and attaches an int8 packed
+/// copy to each eligible weight matrix (>= 2 rows and >= 2 cols — biases,
+/// layer-norm gains and other 1 x D vectors stay fp32 and are skipped).
+/// Parameters consumed by non-GEMM ops (embedding gathers) carry an unused
+/// packed copy; the memory cost is ~25% of fp32 and noted in the docs.
+/// Idempotent: repacking replaces prior packed copies.
+PackStats pack_model_weights(NetTag& model);
+
+}  // namespace nettag

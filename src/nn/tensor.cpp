@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "analysis/check.hpp"
+#include "nn/gemm.hpp"
+#include "nn/packed.hpp"
 #include "util/parallel.hpp"
 
 namespace nettag {
@@ -99,67 +101,27 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                "matmul: inner dimensions differ: " + sh(a->value) + " x " +
                    sh(b->value));
   const int n = a->value.rows, k = a->value.cols, m = b->value.cols;
-  const std::size_t row_cost = static_cast<std::size_t>(k) * m;
   Mat out(n, m);
-  {
-    const float* av = a->value.v.data();
-    const float* bv = b->value.v.data();
-    float* ov = out.v.data();
-    // Row-blocked: each output row is owned by one task (bit-identical to
-    // the serial triple loop at any width).
-    for_rows(n, row_cost, par::kMinOps, [&](int i0, int i1) {
-      for (int i = i0; i < i1; ++i) {
-        for (int p = 0; p < k; ++p) {
-          const float aip = av[i * k + p];
-          if (aip == 0.f) continue;
-          const float* brow = bv + p * m;
-          float* orow = ov + i * m;
-          for (int j = 0; j < m; ++j) orow[j] += aip * brow[j];
-        }
-      }
-    });
+  if (b->packed) {
+    // Serve-time int8 path (nn/packed.hpp): b carries a packed copy of its
+    // fp32 weights. Inference-only — backward still reads the fp32 values.
+    packed_matmul(a->value, *b->packed, &out);
+  } else {
+    gemm_nn(n, k, m, a->value.v.data(), b->value.v.data(), out.v.data());
   }
   Node* an = a.get();
   Node* bn = b.get();
-  return make_op("matmul", std::move(out), {a, b}, [an, bn, n, k, m,
-                                          row_cost](Node* o) {
+  return make_op("matmul", std::move(out), {a, b}, [an, bn, n, k, m](Node* o) {
     const float* g = o->grad.v.data();
     if (an->requires_grad) {
       an->ensure_grad();
-      const float* bv = bn->value.v.data();
-      float* ag = an->grad.v.data();
-      // dA[i,p] = sum_j dOut[i,j] B[p,j] — rows of dA partitioned by task.
-      for_rows(n, row_cost, par::kMinOps, [&](int i0, int i1) {
-        for (int i = i0; i < i1; ++i) {
-          for (int p = 0; p < k; ++p) {
-            const float* brow = bv + p * m;
-            const float* grow = g + i * m;
-            float acc = 0.f;
-            for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
-            ag[i * k + p] += acc;
-          }
-        }
-      });
+      // dA[i,p] = sum_j dOut[i,j] B[p,j]
+      gemm_nt(n, k, m, g, bn->value.v.data(), an->grad.v.data());
     }
     if (bn->requires_grad) {
       bn->ensure_grad();
-      const float* av = an->value.v.data();
-      float* bg = bn->grad.v.data();
-      // dB[p,j] = sum_i A[i,p] dOut[i,j] — rows of dB (p) partitioned by
-      // task, accumulating over i in ascending order, which is the same
-      // per-element addition sequence as the serial i-outer loop.
-      for_rows(k, static_cast<std::size_t>(n) * m, par::kMinOps,
-               [&](int p0, int p1) {
-                 for (int p = p0; p < p1; ++p) {
-                   float* bgrow = bg + p * m;
-                   for (int i = 0; i < n; ++i) {
-                     const float aip = av[i * k + p];
-                     if (aip == 0.f) continue;
-                     const float* grow = g + i * m;
-                     for (int j = 0; j < m; ++j) bgrow[j] += aip * grow[j];
-                   }
-                 }
-               });
+      // dB[p,j] = sum_i A[i,p] dOut[i,j]
+      gemm_tn(n, k, m, an->value.v.data(), g, bn->grad.v.data());
     }
   });
 }
@@ -395,9 +357,7 @@ Tensor sigmoid(const Tensor& a) {
 Tensor transpose(const Tensor& a) {
   const int n = a->value.rows, m = a->value.cols;
   Mat out(m, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < m; ++j) out.at(j, i) = a->value.at(i, j);
-  }
+  transpose_mat(n, m, a->value.v.data(), out.v.data());
   Node* an = a.get();
   return make_op("transpose", std::move(out), {a}, [an, n, m](Node* o) {
     if (!an->requires_grad) return;

@@ -41,6 +41,8 @@ struct Mat {
 class Node;
 using Tensor = std::shared_ptr<Node>;
 
+struct PackedMat;  // nn/packed.hpp — int8 serve-time copy of a weight matrix
+
 /// One autograd graph node.
 class Node {
  public:
@@ -50,6 +52,10 @@ class Node {
   bool requires_grad = false;
   std::vector<Tensor> parents;
   std::function<void()> backward_fn;  ///< propagates this->grad to parents
+  /// Optional int8 packed copy of `value`, attached only by the serve path
+  /// (pack_model_weights); when set, matmul uses it for the forward product.
+  /// Training never sets this, so fp32 results and resume stay untouched.
+  std::shared_ptr<const PackedMat> packed;
 
   explicit Node(Mat v, bool rg = false) : value(std::move(v)), requires_grad(rg) {
     if (requires_grad) grad = Mat(value.rows, value.cols);

@@ -1,6 +1,7 @@
 #include "serve/json.hpp"
 
 #include <cctype>
+#include <cfloat>
 #include <climits>
 #include <cmath>
 #include <cstdio>
@@ -27,7 +28,14 @@ std::string Json::as_string(const std::string& fallback) const {
 }
 
 double Json::as_number(double fallback) const {
-  return type_ == Type::kNumber ? num_ : fallback;
+  if (type_ != Type::kNumber) return fallback;
+  // The parser itself never produces non-finite values (strtod overflow
+  // yields HUGE_VAL, which callers must not treat as a usable quantity);
+  // NaN falls back, infinities saturate to the largest finite double so
+  // range checks downstream stay well-defined.
+  if (std::isnan(num_)) return fallback;
+  if (std::isinf(num_)) return num_ > 0 ? DBL_MAX : -DBL_MAX;
+  return num_;
 }
 
 long long Json::as_int(long long fallback) const {
@@ -80,6 +88,12 @@ std::string json_number(double v) {
   }
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // %.9g round-trips every float widened to double (the embedding payload
+  // case), but genuine doubles — int8 dequantization scales, drift ratios —
+  // need up to 17 significant digits. Pay for them only when 9 are lossy.
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
   return buf;
 }
 

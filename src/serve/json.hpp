@@ -5,8 +5,9 @@
 // arrays, strings, numbers, booleans, null. Objects preserve insertion
 // order so rendered responses are byte-deterministic (the result cache
 // stores rendered bytes and promises identical replays). Numbers are
-// doubles; floats widened to double render with %.9g, which round-trips
-// every float bit-exactly (serving determinism contract).
+// doubles; rendering tries %.9g (enough for every float widened to double)
+// and widens to %.17g only when that loses bits, so every double
+// round-trips exactly (serving determinism contract).
 #pragma once
 
 #include <cstddef>
@@ -42,6 +43,8 @@ class Json {
   // that must distinguish "absent/mistyped" from "default value" check
   // is_*() first — parse_request rejects mistyped request fields) ----------
   std::string as_string(const std::string& fallback = "") const;
+  /// NaN returns the fallback; +/-Inf (strtod overflow on hostile inputs)
+  /// saturates to +/-DBL_MAX so downstream range checks stay well-defined.
   double as_number(double fallback = 0.0) const;
   /// NaN returns the fallback; values beyond long long saturate to
   /// LLONG_MIN/LLONG_MAX (the raw cast would be undefined behavior).
@@ -83,8 +86,9 @@ class Json {
 };
 
 /// Renders a double so the value round-trips exactly: integral values print
-/// as integers, everything else with enough significant digits for a float
-/// (%.9g). Shared by Json::dump and the hand-rolled matrix rendering.
+/// as integers; everything else tries %.9g (exact for floats widened to
+/// double) and falls back to %.17g when that loses bits. Non-finite values
+/// render as null. Shared by Json::dump and the hand-rolled matrix rendering.
 std::string json_number(double v);
 
 }  // namespace nettag::serve

@@ -5,6 +5,8 @@
 
 #include "analysis/diagnostic.hpp"
 #include "netlist/io.hpp"
+#include "nn/gemm.hpp"
+#include "nn/packed.hpp"
 #include "serve/canonical.hpp"
 #include "util/checksum.hpp"
 #include "util/timer.hpp"
@@ -36,6 +38,9 @@ Server::Server(ServerConfig config, std::unique_ptr<NetTag> model)
     : config_(config), cache_(config.cache_entries) {
   gen_.model = std::move(model);
   gen_.params_crc = params_fingerprint(*gen_.model);
+  // Packing happens after the fingerprint (it hashes fp32 values only, but
+  // the ordering makes the independence obvious).
+  if (config_.quantize) pack_model_weights(*gen_.model);
   batcher_ = std::make_unique<Batcher>(
       [this](const Request& request) { return process(request); },
       config_.max_batch,
@@ -83,6 +88,8 @@ std::string Server::render_stats() const {
   j.set("result_cache", cache_stats_json(cache_.stats()));
   j.set("reloads", static_cast<double>(reloads_.load(std::memory_order_relaxed)));
   j.set("weights_crc32", crc32_hex(gen.params_crc));
+  j.set("backend", config_.quantize ? "int8" : "fp32");
+  j.set("simd", simd_backend_name());
   const TextEmbeddingCache& tc = gen.model->text_cache();
   Json text = Json::object();
   text.set("entries", static_cast<double>(tc.size()));
@@ -154,6 +161,7 @@ Response Server::process_reload(const Request& request) {
   try {
     std::shared_ptr<NetTag> fresh = load_checkpoint(prefix);
     const std::uint32_t crc = params_fingerprint(*fresh);
+    if (config_.quantize) pack_model_weights(*fresh);
     bool changed;
     {
       std::lock_guard<std::mutex> lk(model_mu_);
@@ -256,6 +264,9 @@ Response Server::process_netlist_op(const Request& request) {
                 /*per_node_output=*/request.op == Op::kEmbedGates);
   key.key += "|w";
   key.key += crc32_hex(gen.params_crc);
+  // Numeric backend joins the key too: int8 and fp32 results differ, so a
+  // cache filled by one backend must never answer for the other.
+  key.key += config_.quantize ? "|int8" : "|fp32";
   std::string payload;
   if (cache_.lookup(key.key, key.fingerprint, &payload)) {
     response.result_json = std::move(payload);

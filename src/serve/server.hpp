@@ -50,6 +50,12 @@ struct ServerConfig {
   /// `model_prefix` of their own (typically the prefix the server was
   /// started from). Empty: such requests are rejected.
   std::string model_prefix;
+  /// Serve the int8 packed-weight path (nn/packed.hpp): weight matrices are
+  /// repacked at construction and after every reload, and matmul forwards
+  /// run int8 dot products instead of fp32. The fp32 weights (and the
+  /// weights CRC) are untouched; `stats` reports the active backend and the
+  /// result-cache key separates int8 results from fp32 ones.
+  bool quantize = false;
 };
 
 class Server {

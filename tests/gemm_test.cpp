@@ -1,0 +1,284 @@
+// SIMD backend contract tests (nn/gemm.hpp, nn/packed.hpp):
+//   * the scalar backend is the reference — forcing it must reproduce the
+//     pre-SIMD loops bit-exactly (the kernels ARE those loops, so this is
+//     self-agreement across the dispatch seam);
+//   * the AVX2 backend may differ from scalar only by FMA contraction and
+//     dot-product reassociation — a tight relative epsilon over shapes that
+//     exercise every tail path (K=1, widths straddling 8/16 multiples);
+//   * the int8 packed path is exact integer arithmetic after quantization:
+//     bit-identical across backends, and within the documented error bound
+//     of the fp32 product.
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/packed.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nettag {
+namespace {
+
+Mat random_mat(int rows, int cols, Rng& rng, float zero_fraction = 0.f) {
+  Mat m(rows, cols);
+  for (float& x : m.v) {
+    if (zero_fraction > 0.f && rng.uniform() < zero_fraction) {
+      x = 0.f;
+    } else {
+      x = static_cast<float>(rng.normal(0.0, 1.0));
+    }
+  }
+  return m;
+}
+
+/// Forces `backend` for the duration of one scope; restores on exit.
+class BackendGuard {
+ public:
+  explicit BackendGuard(SimdBackend backend) : prev_(simd_backend()) {
+    forced_ = set_simd_backend(backend);
+  }
+  ~BackendGuard() { set_simd_backend(prev_); }
+  bool forced() const { return forced_; }
+
+ private:
+  SimdBackend prev_;
+  bool forced_;
+};
+
+/// Shapes chosen to hit every kernel path: 4-row/16-col main tiles, 1-3 row
+/// tails, 1-15 column tails, K=1 and K straddling the 8/32 boundaries.
+struct Shape {
+  int n, k, m;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {1, 1, 17},  {3, 1, 8},    {4, 7, 16},  {5, 8, 15},
+    {8, 16, 32}, {7, 33, 19}, {13, 64, 48}, {2, 5, 100}, {100, 3, 2},
+};
+
+TEST(Gemm, ScalarBackendMatchesReferenceLoopsExactly) {
+  BackendGuard guard(SimdBackend::kScalar);
+  Rng rng(7);
+  for (const Shape& s : kShapes) {
+    const Mat a = random_mat(s.n, s.k, rng, /*zero_fraction=*/0.3f);
+    const Mat b = random_mat(s.k, s.m, rng);
+    Mat got(s.n, s.m);
+    gemm_nn(s.n, s.k, s.m, a.v.data(), b.v.data(), got.v.data());
+    // Reference: the original serial triple loop with the zero-skip.
+    Mat want(s.n, s.m);
+    for (int i = 0; i < s.n; ++i) {
+      for (int p = 0; p < s.k; ++p) {
+        const float aip = a.at(i, p);
+        if (aip == 0.f) continue;
+        for (int j = 0; j < s.m; ++j) want.at(i, j) += aip * b.at(p, j);
+      }
+    }
+    for (std::size_t t = 0; t < want.v.size(); ++t) {
+      ASSERT_EQ(want.v[t], got.v[t])
+          << "shape " << s.n << "x" << s.k << "x" << s.m << " elem " << t;
+    }
+  }
+}
+
+/// |got - want| <= tol * (|want| + 1): relative with an absolute floor.
+void expect_close(const Mat& want, const Mat& got, float tol,
+                  const char* what) {
+  ASSERT_EQ(want.v.size(), got.v.size());
+  for (std::size_t t = 0; t < want.v.size(); ++t) {
+    ASSERT_LE(std::fabs(want.v[t] - got.v[t]),
+              tol * (std::fabs(want.v[t]) + 1.f))
+        << what << " elem " << t << ": " << want.v[t] << " vs " << got.v[t];
+  }
+}
+
+TEST(Gemm, Avx2AgreesWithScalarWithinEpsilon) {
+  if (!simd_avx2_supported()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  Rng rng(11);
+  for (const Shape& s : kShapes) {
+    const Mat a = random_mat(s.n, s.k, rng, /*zero_fraction=*/0.3f);
+    const Mat b = random_mat(s.k, s.m, rng);
+    const Mat g = random_mat(s.n, s.m, rng);
+    Mat nn_s(s.n, s.m), nn_v(s.n, s.m);
+    Mat nt_s(s.n, s.k), nt_v(s.n, s.k);
+    Mat tn_s(s.k, s.m), tn_v(s.k, s.m);
+    {
+      BackendGuard guard(SimdBackend::kScalar);
+      gemm_nn(s.n, s.k, s.m, a.v.data(), b.v.data(), nn_s.v.data());
+      gemm_nt(s.n, s.k, s.m, g.v.data(), b.v.data(), nt_s.v.data());
+      gemm_tn(s.n, s.k, s.m, a.v.data(), g.v.data(), tn_s.v.data());
+    }
+    {
+      BackendGuard guard(SimdBackend::kAvx2);
+      ASSERT_TRUE(guard.forced());
+      gemm_nn(s.n, s.k, s.m, a.v.data(), b.v.data(), nn_v.v.data());
+      gemm_nt(s.n, s.k, s.m, g.v.data(), b.v.data(), nt_v.v.data());
+      gemm_tn(s.n, s.k, s.m, a.v.data(), g.v.data(), tn_v.v.data());
+    }
+    // FMA + 8-way reassociation: error grows with k; 1e-5 * sqrt(k) is
+    // comfortably above observed drift yet far below any training signal.
+    const float tol = 1e-5f * std::sqrt(static_cast<float>(s.k));
+    expect_close(nn_s, nn_v, tol, "gemm_nn");
+    expect_close(nt_s, nt_v, tol, "gemm_nt");
+    expect_close(tn_s, tn_v, tol, "gemm_tn");
+  }
+}
+
+TEST(Gemm, TransposeIsExactInverseAndBackendIndependent) {
+  Rng rng(13);
+  for (const Shape& s : kShapes) {
+    const Mat a = random_mat(s.n, s.m, rng);
+    Mat t(s.m, s.n);
+    transpose_mat(s.n, s.m, a.v.data(), t.v.data());
+    for (int i = 0; i < s.n; ++i) {
+      for (int j = 0; j < s.m; ++j) ASSERT_EQ(a.at(i, j), t.at(j, i));
+    }
+    Mat back(s.n, s.m);
+    transpose_mat(s.m, s.n, t.v.data(), back.v.data());
+    EXPECT_EQ(a.v, back.v);
+  }
+}
+
+TEST(Gemm, ParseSimdBackendHonorsSpellingsAndWarnsOnUnknown) {
+  std::string warning;
+  EXPECT_EQ(parse_simd_backend("0", SimdBackend::kAvx2, &warning),
+            SimdBackend::kScalar);
+  EXPECT_EQ(parse_simd_backend("scalar", SimdBackend::kAvx2, &warning),
+            SimdBackend::kScalar);
+  EXPECT_EQ(parse_simd_backend("off", SimdBackend::kAvx2, &warning),
+            SimdBackend::kScalar);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(parse_simd_backend(nullptr, SimdBackend::kScalar, &warning),
+            SimdBackend::kScalar);
+  if (simd_avx2_supported()) {
+    EXPECT_EQ(parse_simd_backend("avx2", SimdBackend::kScalar, &warning),
+              SimdBackend::kAvx2);
+    EXPECT_TRUE(warning.empty());
+  }
+  EXPECT_EQ(parse_simd_backend("pentium", SimdBackend::kScalar, &warning),
+            SimdBackend::kScalar);
+  EXPECT_FALSE(warning.empty());
+}
+
+// --- int8 packed path --------------------------------------------------------
+
+TEST(PackedInt8, RoundTripWithinHalfScalePerColumn) {
+  Rng rng(17);
+  const Mat w = random_mat(33, 19, rng, /*zero_fraction=*/0.1f);
+  const PackedMat p = pack_int8(w);
+  EXPECT_EQ(p.rows, 33);
+  EXPECT_EQ(p.cols, 19);
+  EXPECT_EQ(p.kpad, 64);
+  const Mat back = unpack_int8(p);
+  for (int j = 0; j < w.cols; ++j) {
+    const float bound = p.scales[static_cast<std::size_t>(j)] * 0.5f + 1e-7f;
+    for (int r = 0; r < w.rows; ++r) {
+      ASSERT_LE(std::fabs(w.at(r, j) - back.at(r, j)), bound)
+          << "element (" << r << "," << j << ")";
+    }
+  }
+  // Padding rows beyond K must be zero (the dot kernels read them).
+  for (int j = 0; j < p.cols; ++j) {
+    for (int t = p.rows; t < p.kpad; ++t) {
+      ASSERT_EQ(p.q[static_cast<std::size_t>(j) * p.kpad + t], 0);
+    }
+  }
+}
+
+TEST(PackedInt8, AllZeroColumnGetsZeroScaleAndZeroOutput) {
+  Mat w(8, 2);
+  for (int r = 0; r < 8; ++r) w.at(r, 1) = 1.f + static_cast<float>(r);
+  const PackedMat p = pack_int8(w);
+  EXPECT_EQ(p.scales[0], 0.f);
+  EXPECT_GT(p.scales[1], 0.f);
+  const Mat back = unpack_int8(p);
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(back.at(r, 0), 0.f);
+}
+
+TEST(PackedInt8, MatmulBitIdenticalAcrossBackends) {
+  Rng rng(19);
+  const Mat x = random_mat(9, 33, rng, /*zero_fraction=*/0.2f);
+  const Mat w = random_mat(33, 21, rng);
+  const PackedMat p = pack_int8(w);
+  Mat scalar_out(9, 21);
+  {
+    BackendGuard guard(SimdBackend::kScalar);
+    packed_matmul(x, p, &scalar_out);
+  }
+  if (!simd_avx2_supported()) GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  Mat avx2_out(9, 21);
+  {
+    BackendGuard guard(SimdBackend::kAvx2);
+    packed_matmul(x, p, &avx2_out);
+  }
+  // Integer accumulation is associative: the backends must agree exactly.
+  EXPECT_EQ(scalar_out.v, avx2_out.v);
+}
+
+TEST(PackedInt8, MatmulTracksFp32WithinQuantizationBudget) {
+  Rng rng(23);
+  const Mat x = random_mat(7, 64, rng);
+  const Mat w = random_mat(64, 24, rng);
+  const PackedMat p = pack_int8(w);
+  Mat fp32(7, 24), int8(7, 24);
+  gemm_nn(7, 64, 24, x.v.data(), w.v.data(), fp32.v.data());
+  packed_matmul(x, p, &int8);
+  // Error budget (docs/PERFORMANCE.md §4): each operand quantizes to within
+  // half a step, so per product the error is <= 0.5*(sx|w| + sw|x|) plus a
+  // second-order term; summed over k it stays well under 2% of the row's
+  // magnitude for unit-normal data. Enforce a generous but finite bound.
+  for (int i = 0; i < 7; ++i) {
+    float ref_mag = 0.f, err = 0.f;
+    for (int j = 0; j < 24; ++j) {
+      ref_mag += std::fabs(fp32.at(i, j));
+      err += std::fabs(fp32.at(i, j) - int8.at(i, j));
+    }
+    EXPECT_LE(err, 0.02f * ref_mag + 1e-3f) << "row " << i;
+  }
+}
+
+TEST(PackedInt8, ZeroRowsShortCircuitAndNonFiniteRowsPropagate) {
+  Mat w(4, 3);
+  for (int r = 0; r < 4; ++r) {
+    for (int j = 0; j < 3; ++j) w.at(r, j) = 0.25f * static_cast<float>(r - j);
+  }
+  const PackedMat p = pack_int8(w);
+  Mat x(2, 4);
+  // Row 0 all zero; row 1 carries an Inf.
+  x.at(1, 0) = std::numeric_limits<float>::infinity();
+  x.at(1, 1) = 1.f;
+  Mat out(2, 3);
+  packed_matmul(x, p, &out);
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(out.at(0, j), 0.f);
+  bool any_nonfinite = false;
+  for (int j = 0; j < 3; ++j) {
+    any_nonfinite = any_nonfinite || !std::isfinite(out.at(1, j));
+  }
+  EXPECT_TRUE(any_nonfinite) << "Inf input must not be silently saturated";
+}
+
+TEST(PackedInt8, MatmulOpPrefersPackedOperand) {
+  Rng rng(29);
+  Tensor x = make_tensor(random_mat(5, 16, rng));
+  Tensor w = make_tensor(random_mat(16, 8, rng), /*requires_grad=*/true);
+  const Tensor fp32 = matmul(x, w);
+  w->packed = std::make_shared<PackedMat>(pack_int8(w->value));
+  const Tensor int8 = matmul(x, w);
+  w->packed.reset();
+  // The two paths must differ somewhere (quantization is lossy) yet stay
+  // close; exact agreement would mean the packed branch never ran.
+  float max_abs_diff = 0.f;
+  for (std::size_t t = 0; t < fp32->value.v.size(); ++t) {
+    max_abs_diff = std::max(
+        max_abs_diff, std::fabs(fp32->value.v[t] - int8->value.v[t]));
+  }
+  EXPECT_GT(max_abs_diff, 0.f);
+  // k=16 unit-normal: outputs are ~N(0, 4), per-element quantization error
+  // a few percent of that at worst.
+  EXPECT_LT(max_abs_diff, 0.2f);
+}
+
+}  // namespace
+}  // namespace nettag

@@ -3,7 +3,9 @@
 // batching, caching, admission gate, error taxonomy, and observability.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <string>
@@ -13,6 +15,7 @@
 
 #include "core/nettag.hpp"
 #include "netlist/io.hpp"
+#include "nn/gemm.hpp"
 #include "serve/cache.hpp"
 #include "serve/canonical.hpp"
 #include "serve/json.hpp"
@@ -714,6 +717,160 @@ TEST(Server, StatsReportReloadFields) {
   EXPECT_EQ(j.find("reloads")->as_int(), 0);
   ASSERT_NE(j.find("weights_crc32"), nullptr);
   EXPECT_EQ(j.find("weights_crc32")->as_string().size(), 8u);
+}
+
+// --- int8 quantized serving --------------------------------------------------
+
+/// Parses the "cls" matrix out of an embed_gates result payload.
+Mat cls_of(const Response& resp) {
+  Json j;
+  std::string err;
+  EXPECT_TRUE(Json::parse(resp.result_json, &j, &err)) << err;
+  Mat cls;
+  EXPECT_TRUE(serve::mat_from_json(*j.find("cls"), &cls));
+  return cls;
+}
+
+TEST(Server, QuantizedEmbedDriftsWithinBudgetAndIsNotFp32) {
+  ServerConfig qc;
+  qc.quantize = true;
+  auto quant = make_server(qc);
+  auto fp32 = make_server();  // same seed → identical fp32 weights
+
+  const Response qr = quant->submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(qr.ok()) << qr.error_message;
+  const Response fr = fp32->submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(fr.ok()) << fr.error_message;
+
+  const Mat qcls = cls_of(qr);
+  const Mat fcls = cls_of(fr);
+  ASSERT_EQ(qcls.v.size(), fcls.v.size());
+  // The int8 path must actually run (identical bytes would mean the packed
+  // branch never fired) yet stay inside the documented drift budget
+  // (docs/PERFORMANCE.md §5): relative L2 distance under 5% for the tiny
+  // config's CLS embedding.
+  EXPECT_NE(qr.result_json, fr.result_json);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < fcls.v.size(); ++i) {
+    const double d = static_cast<double>(qcls.v[i]) - fcls.v[i];
+    num += d * d;
+    den += static_cast<double>(fcls.v[i]) * fcls.v[i];
+  }
+  ASSERT_GT(den, 0.0);
+  EXPECT_LT(std::sqrt(num / den), 0.05);
+}
+
+TEST(Server, StatsReportNumericBackendAndSimd) {
+  auto fp32 = make_server();
+  ServerConfig qc;
+  qc.quantize = true;
+  auto quant = make_server(qc);
+  auto stats_of = [](Server& s) {
+    Request r;
+    r.op = Op::kStats;
+    Json j;
+    std::string err;
+    EXPECT_TRUE(Json::parse(s.submit(std::move(r)).result_json, &j, &err))
+        << err;
+    return j;
+  };
+  const Json fs = stats_of(*fp32);
+  ASSERT_NE(fs.find("backend"), nullptr);
+  EXPECT_EQ(fs.find("backend")->as_string(), "fp32");
+  ASSERT_NE(fs.find("simd"), nullptr);
+  EXPECT_EQ(fs.find("simd")->as_string(), simd_backend_name());
+  const Json qs = stats_of(*quant);
+  EXPECT_EQ(qs.find("backend")->as_string(), "int8");
+}
+
+TEST(Server, QuantizedCacheIsConsistentPerBackend) {
+  ServerConfig qc;
+  qc.quantize = true;
+  auto quant = make_server(qc);
+  auto fp32 = make_server();
+
+  // Each backend replays its own bytes on the isomorphic resubmission...
+  const Response q1 = quant->submit(embed_request(kAndNetlist));
+  const Response q2 = quant->submit(embed_request(kAndRenamed));
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_FALSE(q1.cached);
+  EXPECT_TRUE(q2.cached);
+  EXPECT_EQ(q1.result_json, q2.result_json);
+  // ...and those bytes are backend-specific (an int8 entry would be a wrong
+  // answer under fp32 and vice versa — the cache key keeps them apart).
+  const Response f1 = fp32->submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(f1.ok());
+  EXPECT_NE(f1.result_json, q1.result_json);
+}
+
+TEST(Server, ReloadRepacksUnderQuantizedConfig) {
+  const std::string prefix =
+      save_tiny_checkpoint("/tmp/nettag_reload_quant", 21);
+  ServerConfig sc;
+  sc.model_prefix = prefix;
+  sc.quantize = true;
+  Server server(sc, load_checkpoint(prefix));
+
+  const Response before = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(before.ok()) << before.error_message;
+  const Response rl = server.submit([] {
+    Request r;
+    r.op = Op::kReload;
+    return r;
+  }());
+  ASSERT_TRUE(rl.ok()) << rl.error_message;
+
+  // Same weights + same backend → the cache entry stays live...
+  const Response replay = server.submit(embed_request(kAndNetlist));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.cached);
+  EXPECT_EQ(replay.result_json, before.result_json);
+
+  // ...and fresh work on the reloaded generation still runs int8: an
+  // uncached netlist must differ from the fp32 offline reference (if reload
+  // forgot to repack, the swapped-in model would serve exact fp32 bytes).
+  const Response fresh = server.submit(embed_request(kOrNetlist));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.cached);
+  const NetTag offline(tiny_config(), 21);
+  const NetTag::ConeEmbedding ref =
+      offline.embed(netlist_from_string(kOrNetlist));
+  const Mat fresh_cls = cls_of(fresh);
+  bool differs = false;
+  for (std::size_t i = 0; i < ref.cls.v.size() && !differs; ++i) {
+    differs = fresh_cls.v[i] != ref.cls.v[i];
+  }
+  EXPECT_TRUE(differs);
+  remove_tiny_checkpoint(prefix);
+}
+
+TEST(ServeJson, NumberRoundTripsDoublesExactly) {
+  // 0.1 needs 17 significant digits as a double; a float-widened value
+  // (0.25f) stays on the short %.9g path; integral stays integral.
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300,
+                         static_cast<double>(0.3f), 42.0}) {
+    const std::string s = serve::json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(serve::json_number(0.5), "0.5");  // short spellings stay short
+  EXPECT_EQ(serve::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(serve::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(ServeJson, AsNumberSaturatesNonFinite) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).as_number(),
+            std::numeric_limits<double>::max());
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).as_number(),
+            -std::numeric_limits<double>::max());
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).as_number(7.0),
+            7.0);
+  // Overflowing literals parse to Inf via strtod and must not escape as Inf.
+  Json doc;
+  std::string err;
+  ASSERT_TRUE(Json::parse(R"({"x":1e999})", &doc, &err)) << err;
+  EXPECT_EQ(doc.find("x")->as_number(), std::numeric_limits<double>::max());
 }
 
 TEST(Protocol, ReloadRequestParsing) {

@@ -18,6 +18,7 @@
 //   --text-cache-entries N frozen-text-embedding cache bound (default 4096)
 //   --max-batch N          largest request batch (default 32)
 //   --reject-warnings      strict admission: lint warnings also reject
+//   --quantize             serve the int8 packed-weight path (docs/PERFORMANCE.md §4)
 //   --log FILE             append one "<op> <status> <ms>" line per request
 // Flags (train-demo):
 //   --seed S               generation/training seed (default 0x5eed)
@@ -52,7 +53,7 @@ void usage(std::FILE* to) {
                "usage: nettag_serve --model PREFIX [--max-gates N]\n"
                "                    [--cache-entries N] [--text-cache-entries N]\n"
                "                    [--max-batch N] [--reject-warnings]\n"
-               "                    [--log FILE]\n"
+               "                    [--quantize] [--log FILE]\n"
                "       nettag_serve --train-demo PREFIX [--seed S] [--designs N]\n"
                "       nettag_serve --help\n"
                "\n"
@@ -197,6 +198,8 @@ int main(int argc, char** argv) {
       ++i;
     } else if (!std::strcmp(arg, "--reject-warnings")) {
       config.reject_warnings = true;
+    } else if (!std::strcmp(arg, "--quantize")) {
+      config.quantize = true;
     } else if (!std::strcmp(arg, "--log")) {
       log_path = need_value(i);
       ++i;
