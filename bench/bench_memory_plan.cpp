@@ -1,0 +1,173 @@
+// Memory-planner benchmark: per-step heap allocations and wall time of the
+// Task 1 (functionality classification) training loop with the static arena
+// planner off vs on.
+//
+// The loop mirrors ClassifierHead::fit_impl — Mlp forward, cross-entropy,
+// backward, Adam — with one PlanScope per step under a fixed shape
+// signature. With planning off every op output, gradient, and op-internal
+// temporary is a fresh heap vector; with planning on the first (recording)
+// step plans them all into one arena slab and every later step replays at
+// the planned offsets, leaving only the minibatch gather on the heap.
+//
+// Writes BENCH_memory_plan.json (schema documented in docs/PERFORMANCE.md)
+// and exits nonzero if the planned run is not bit-identical to the heap run
+// or the per-step allocation reduction falls below the 10x acceptance bar.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/tape.hpp"
+#include "nn/tensor.hpp"
+#include "tasks/finetune.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace nettag;
+
+namespace {
+
+constexpr int kSteps = 200;     // measured steps (after the recording step)
+constexpr int kBatch = 64;
+constexpr int kInDim = 32;
+constexpr int kHidden = 96;
+constexpr int kClasses = 4;
+constexpr int kRows = 512;
+
+struct RunResult {
+  std::vector<float> losses;
+  unsigned long long heap_allocs = 0;     // delta over the measured steps
+  unsigned long long arena_served = 0;    // delta over the measured steps
+  double seconds = 0;
+  plan::Stats stats;                      // snapshot at the end of the run
+};
+
+void toy_task1(Mat* x, std::vector<int>* y) {
+  Rng rng(0xda7a);
+  *x = Mat(kRows, kInDim);
+  y->clear();
+  for (int i = 0; i < x->rows; ++i) {
+    float s = 0.f;
+    for (int j = 0; j < x->cols; ++j) {
+      x->at(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+      s += x->at(i, j) * (j % 2 == 0 ? 1.f : -1.f);
+    }
+    y->push_back(((s > 0.f) ? 1 : 0) + 2 * (x->at(i, 0) > 0.f ? 1 : 0));
+  }
+}
+
+RunResult run_loop(bool plan_on) {
+  plan::reset_for_tests();
+  plan::set_planning_enabled(plan_on);
+  Mat x;
+  std::vector<int> y;
+  toy_task1(&x, &y);
+  Rng rng(0x5eed);
+  Mlp mlp(kInDim, kHidden, kClasses, rng);
+  Adam opt(mlp.params(), 3e-3f);
+  const std::string signature = "bench|task1|" + std::to_string(kBatch) + "|" +
+                                std::to_string(kInDim) + "|" +
+                                std::to_string(kClasses);
+  RunResult res;
+  auto one_step = [&]() {
+    plan::PlanScope scope(signature);
+    std::vector<int> idx;
+    std::vector<int> labels;
+    for (int b = 0; b < kBatch; ++b) {
+      const int i = static_cast<int>(rng.index(static_cast<std::size_t>(kRows)));
+      idx.push_back(i);
+      labels.push_back(y[static_cast<std::size_t>(i)]);
+    }
+    Tensor logits = mlp.forward(make_tensor(take_rows(x, idx), false));
+    Tensor loss = cross_entropy(logits, labels);
+    backward(loss);
+    opt.step();
+    res.losses.push_back(loss->value.v[0]);
+  };
+
+  one_step();  // warmup: with planning on this is the recording step
+  const plan::Stats before = plan::stats_snapshot();
+  Timer t;
+  for (int step = 0; step < kSteps; ++step) one_step();
+  res.seconds = t.seconds();
+  const plan::Stats after = plan::stats_snapshot();
+  res.heap_allocs = after.heap_mat_allocs - before.heap_mat_allocs;
+  res.arena_served = after.mallocs_avoided - before.mallocs_avoided;
+  res.stats = after;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool::instance().set_width(1);
+  const RunResult off = run_loop(false);
+  const RunResult on = run_loop(true);
+
+  const bool identical = off.losses == on.losses;
+  const double per_step_off =
+      static_cast<double>(off.heap_allocs) / kSteps;
+  const double per_step_on = static_cast<double>(on.heap_allocs) / kSteps;
+  const double reduction =
+      per_step_on > 0 ? per_step_off / per_step_on
+                      : static_cast<double>(off.heap_allocs);
+
+  std::printf("== memory planner: Task 1 training loop (%d steps, width 1) ==\n",
+              kSteps);
+  std::printf("plan off: %.1f heap allocs/step, %.3fs\n", per_step_off,
+              off.seconds);
+  std::printf("plan on:  %.1f heap allocs/step, %.3fs, %.1f arena "
+              "buffers/step, slab %llu bytes\n",
+              per_step_on, on.seconds,
+              static_cast<double>(on.arena_served) / kSteps,
+              on.stats.slab_bytes);
+  std::printf("reduction: %.1fx   loss trajectory bit-identical: %s\n",
+              reduction, identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_memory_plan.json");
+  json << "{\n"
+       << "  \"bench\": \"memory_plan\",\n"
+       << "  \"loop\": {\"task\": \"task1_classifier\", \"steps\": " << kSteps
+       << ", \"batch\": " << kBatch << ", \"in_dim\": " << kInDim
+       << ", \"hidden\": " << kHidden << ", \"classes\": " << kClasses
+       << ", \"threads\": 1},\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  \"plan_off\": {\"heap_allocs_per_step\": %.2f, "
+                "\"seconds\": %.3f},\n",
+                per_step_off, off.seconds);
+  json << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"plan_on\": {\"heap_allocs_per_step\": %.2f, "
+                "\"arena_buffers_per_step\": %.2f, \"seconds\": %.3f,\n",
+                per_step_on, static_cast<double>(on.arena_served) / kSteps,
+                on.seconds);
+  json << buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "    \"slab_bytes\": %llu, \"buffers_planned\": %llu, "
+      "\"buffers_coalesced\": %llu,\n",
+      on.stats.slab_bytes, on.stats.buffers_planned,
+      on.stats.buffers_coalesced);
+  json << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"plans_installed\": %llu, \"replays\": %llu, "
+                "\"divergences\": %llu, \"verifier_rejects\": %llu},\n",
+                on.stats.plans_installed, on.stats.replays,
+                on.stats.divergences, on.stats.verifier_rejects);
+  json << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"heap_alloc_reduction_x\": %.1f,\n  "
+                "\"loss_bit_identical\": %s\n}\n",
+                reduction, identical ? "true" : "false");
+  json << buf;
+  json.close();
+  std::printf("# JSON written to BENCH_memory_plan.json\n");
+
+  const bool pass = identical && reduction >= 10.0 &&
+                    on.stats.divergences == 0 && on.stats.verifier_rejects == 0;
+  if (!pass) std::printf("# FAILED acceptance (>=10x reduction, bit-identity)\n");
+  return pass ? 0 : 1;
+}

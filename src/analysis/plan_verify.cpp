@@ -1,0 +1,198 @@
+#include "analysis/plan_verify.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "nn/liveness.hpp"
+
+namespace nettag::plan {
+
+namespace {
+
+struct Buf {
+  std::string what;  // "value[i]" / "grad[i]" / "temp[i][k]"
+  std::size_t offset;
+  std::size_t bytes;
+  long def;
+  long last;
+};
+
+bool bytes_overlap(const Buf& a, const Buf& b) {
+  return a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+}
+
+bool time_overlap(const Buf& a, const Buf& b) {
+  return a.def <= b.last && b.def <= a.last;
+}
+
+}  // namespace
+
+std::string PlanVerdict::summary() const {
+  if (ok) return "ok";
+  std::string s;
+  const std::size_t cap = std::min<std::size_t>(errors.size(), 8);
+  for (std::size_t i = 0; i < cap; ++i) {
+    if (!s.empty()) s += "; ";
+    s += errors[i];
+  }
+  if (errors.size() > cap) {
+    s += "; +" + std::to_string(errors.size() - cap) + " more";
+  }
+  return s;
+}
+
+PlanVerdict verify_plan(const Tape& tape, const MemPlan& plan) {
+  PlanVerdict v;
+  const long n = static_cast<long>(tape.entries.size());
+  auto fail = [&v](std::string msg) {
+    v.ok = false;
+    v.errors.push_back(std::move(msg));
+  };
+
+  if (plan.per_entry.size() != tape.entries.size()) {
+    fail("slot table size " + std::to_string(plan.per_entry.size()) +
+         " != tape length " + std::to_string(tape.entries.size()));
+    return v;
+  }
+  if (plan.alignment == 0 || (plan.alignment & (plan.alignment - 1)) != 0) {
+    fail("alignment " + std::to_string(plan.alignment) + " not a power of two");
+    return v;
+  }
+
+  // --- def-dominates-use: structural edges point strictly backwards ---------
+  for (long i = 0; i < n; ++i) {
+    const TapeEntry& e = tape.entries[static_cast<std::size_t>(i)];
+    for (const int p : e.parents) {
+      if (p >= 0 && p >= i) {
+        fail("entry " + std::to_string(i) + " uses parent slot " +
+             std::to_string(p) + " not defined before it");
+      }
+    }
+    if (plan.per_entry[static_cast<std::size_t>(i)].temps.size() !=
+        e.temps.size()) {
+      fail("entry " + std::to_string(i) + " temp slot count mismatch");
+    }
+  }
+  for (const int slot : tape.bwd_order) {
+    if (slot < 0 || slot >= n) {
+      fail("backward event references undefined slot " + std::to_string(slot));
+    }
+  }
+  for (const int slot : tape.bwd_roots) {
+    if (slot >= n) {
+      fail("backward root references undefined slot " + std::to_string(slot));
+    }
+  }
+  for (const int slot : tape.kept) {
+    if (slot < 0 || slot >= n) {
+      fail("kept slot " + std::to_string(slot) + " out of range");
+    }
+  }
+  if (!v.ok) return v;
+
+  // --- recompute live ranges from first principles --------------------------
+  // Use-lists are rebuilt here directly from tape edges + backward order +
+  // the backward-read traits, independent of the planner's liveness pass.
+  std::vector<long> bwd_time(static_cast<std::size_t>(n), -1);
+  for (std::size_t j = 0; j < tape.bwd_order.size(); ++j) {
+    auto& t = bwd_time[static_cast<std::size_t>(tape.bwd_order[j])];
+    t = std::max(t, n + static_cast<long>(j));
+  }
+  std::vector<std::vector<long>> value_uses(static_cast<std::size_t>(n));
+  std::vector<std::vector<long>> grad_uses(static_cast<std::size_t>(n));
+  for (long i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const TapeEntry& e = tape.entries[ui];
+    const BwdReads r = backward_reads(e.op);
+    const long bt = bwd_time[ui];
+    if (bt >= 0) {
+      if (r.own_value) value_uses[ui].push_back(bt);
+      grad_uses[ui].push_back(bt);  // closure reads its own output gradient
+    }
+    for (const int p : e.parents) {
+      if (p < 0) continue;
+      const auto up = static_cast<std::size_t>(p);
+      value_uses[up].push_back(i);  // forward read
+      if (bt >= 0) {
+        if (r.parent_values) value_uses[up].push_back(bt);
+        if (tape.entries[up].requires_grad) grad_uses[up].push_back(bt);
+      }
+    }
+  }
+
+  // Kept nodes and backward roots are caller-visible after the step (returned
+  // embeddings, logged losses): their buffers count as used at the horizon,
+  // so any plan sharing their bytes must be rejected.
+  const long horizon = n + static_cast<long>(tape.bwd_order.size());
+  for (const int slot : tape.kept) {
+    const auto us = static_cast<std::size_t>(slot);
+    value_uses[us].push_back(horizon);
+    if (tape.entries[us].requires_grad) grad_uses[us].push_back(horizon);
+  }
+  for (const int slot : tape.bwd_roots) {
+    if (slot >= 0) value_uses[static_cast<std::size_t>(slot)].push_back(horizon);
+  }
+
+  std::vector<Buf> bufs;
+  auto add_buf = [&](std::string what, std::size_t offset, std::size_t bytes,
+                     long def, const std::vector<long>& uses) {
+    if (offset == kHeapSlot || bytes == 0) return;
+    long last = def;
+    for (const long u : uses) {
+      if (u < def) {
+        fail(what + " used at time " + std::to_string(u) +
+             " before its definition at " + std::to_string(def));
+      }
+      last = std::max(last, u);
+    }
+    if (offset % plan.alignment != 0) {
+      fail(what + " offset " + std::to_string(offset) + " misaligned");
+    }
+    if (offset + bytes > plan.slab_bytes) {
+      fail(what + " [" + std::to_string(offset) + ", " +
+           std::to_string(offset + bytes) + ") exceeds slab of " +
+           std::to_string(plan.slab_bytes) + " bytes");
+    }
+    bufs.push_back({std::move(what), offset, bytes, def, last});
+  };
+
+  for (long i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const TapeEntry& e = tape.entries[ui];
+    const MemPlan::Slots& s = plan.per_entry[ui];
+    const std::size_t bytes = static_cast<std::size_t>(e.rows) *
+                              static_cast<std::size_t>(e.cols) * sizeof(float);
+    add_buf("value[" + std::to_string(i) + "]", s.value, bytes, i,
+            value_uses[ui]);
+    if (e.requires_grad) {
+      add_buf("grad[" + std::to_string(i) + "]", s.grad, bytes, i,
+              grad_uses[ui]);
+    } else if (s.grad != kHeapSlot) {
+      fail("grad[" + std::to_string(i) + "] planned for a no-grad entry");
+    }
+    for (std::size_t k = 0; k < e.temps.size(); ++k) {
+      const std::size_t tb = static_cast<std::size_t>(e.temps[k].first) *
+                             static_cast<std::size_t>(e.temps[k].second) *
+                             sizeof(float);
+      const long bt = bwd_time[ui];
+      std::vector<long> uses;
+      if (bt >= 0) uses.push_back(bt);
+      add_buf("temp[" + std::to_string(i) + "][" + std::to_string(k) + "]",
+              s.temps[k], tb, i, uses);
+    }
+  }
+
+  // --- no two time-overlapping buffers share bytes --------------------------
+  for (std::size_t a = 0; a < bufs.size(); ++a) {
+    for (std::size_t b = a + 1; b < bufs.size(); ++b) {
+      if (time_overlap(bufs[a], bufs[b]) && bytes_overlap(bufs[a], bufs[b])) {
+        fail(bufs[a].what + " and " + bufs[b].what +
+             " overlap in both live range and bytes");
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace nettag::plan

@@ -1,0 +1,37 @@
+// Static verifier for emitted memory plans (the admission gate between the
+// planner and the allocator).
+//
+// Independent of nn/memplan.cpp by construction: the verifier recomputes
+// buffer use-lists directly from the tape (parent edges, backward execution
+// order, and the per-op backward-read traits) rather than trusting the
+// planner's liveness result, then re-checks the plan:
+//
+//   * every use of a buffer is dominated by its definition (parent edges
+//     point backwards, backward events reference defined slots);
+//   * no two buffers whose recomputed live ranges overlap in time share any
+//     bytes in the slab;
+//   * every offset is alignment-multiple and the buffer fits in the slab;
+//   * the plan's slot tables are structurally consistent with the tape.
+//
+// A plan that fails any check is refused by the install path in nn/tape.cpp:
+// the signature falls back to per-op heap allocation and the rejection is
+// counted (plan::stats_snapshot().verifier_rejects).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tape.hpp"
+
+namespace nettag::plan {
+
+struct PlanVerdict {
+  bool ok = true;
+  std::vector<std::string> errors;
+  /// "ok" or a semicolon-joined error list (capped).
+  std::string summary() const;
+};
+
+PlanVerdict verify_plan(const Tape& tape, const MemPlan& plan);
+
+}  // namespace nettag::plan

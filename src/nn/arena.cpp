@@ -1,0 +1,134 @@
+#include "nn/arena.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <new>
+
+namespace nettag::plan {
+
+namespace {
+
+// Slab registry: append-only fixed array published with release/acquire on
+// the count, so pointer_in_slab is a lock-free linear scan. Slabs are never
+// unregistered; geometric arena growth keeps the entry count tiny.
+constexpr int kMaxSlabs = 256;
+
+struct Slab {
+  void* base = nullptr;
+  std::size_t size = 0;
+};
+
+Slab g_slabs[kMaxSlabs];
+std::atomic<int> g_slab_count{0};
+std::mutex g_slab_mu;
+
+std::atomic<unsigned long long> g_heap_allocs{0};
+std::atomic<unsigned long long> g_arena_served{0};
+std::atomic<unsigned long long> g_slab_bytes{0};
+
+/// Registers a slab; false when the registry is full (planning then stays
+/// disabled for the requesting scope — never fatal).
+bool register_slab(void* base, std::size_t size) {
+  std::lock_guard<std::mutex> lk(g_slab_mu);
+  const int n = g_slab_count.load(std::memory_order_relaxed);
+  if (n >= kMaxSlabs) return false;
+  g_slabs[n].base = base;
+  g_slabs[n].size = size;
+  g_slab_count.store(n + 1, std::memory_order_release);
+  return true;
+}
+
+struct Armed {
+  void* ptr = nullptr;
+  std::size_t bytes = 0;
+};
+thread_local Armed t_armed;
+
+// Per-thread arena slab. Offsets in a MemPlan are relative to this base; the
+// slab is recycled wholesale at every plan-scope begin on the owning thread.
+struct ThreadArena {
+  char* base = nullptr;
+  std::size_t cap = 0;
+};
+thread_local ThreadArena t_arena;
+
+constexpr std::size_t kSlabAlign = 64;
+
+}  // namespace
+
+namespace detail {
+
+void* take_armed(std::size_t bytes) noexcept {
+  if (t_armed.ptr == nullptr || bytes == 0) return nullptr;
+  if (t_armed.bytes != bytes) return nullptr;
+  void* p = t_armed.ptr;
+  t_armed = Armed{};
+  g_arena_served.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void* heap_alloc(std::size_t bytes) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(bytes);
+}
+
+void release(void* p) noexcept {
+  if (p == nullptr) return;
+  if (pointer_in_slab(p)) return;
+  ::operator delete(p);
+}
+
+}  // namespace detail
+
+void arm(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr || bytes == 0) return;
+  t_armed.ptr = ptr;
+  t_armed.bytes = bytes;
+}
+
+void disarm() noexcept { t_armed = Armed{}; }
+
+char* thread_arena(std::size_t bytes) {
+  if (bytes == 0) bytes = kSlabAlign;
+  if (t_arena.base != nullptr && t_arena.cap >= bytes) return t_arena.base;
+  std::size_t want = t_arena.cap * 2;
+  if (want < bytes) want = bytes;
+  want = (want + kSlabAlign - 1) / kSlabAlign * kSlabAlign;
+  char* base = static_cast<char*>(
+      ::operator new(want, std::align_val_t{kSlabAlign}));
+  if (!register_slab(base, want)) {
+    ::operator delete(base, std::align_val_t{kSlabAlign});
+    return nullptr;
+  }
+  g_slab_bytes.fetch_add(want - t_arena.cap, std::memory_order_relaxed);
+  // The old slab stays registered: Mats planned into it during the previous
+  // scope may outlive the growth and must still deallocate as no-ops.
+  t_arena.base = base;
+  t_arena.cap = want;
+  return base;
+}
+
+bool pointer_in_slab(const void* p) noexcept {
+  const int n = g_slab_count.load(std::memory_order_acquire);
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  for (int i = 0; i < n; ++i) {
+    const auto base = reinterpret_cast<std::uintptr_t>(g_slabs[i].base);
+    if (addr >= base && addr < base + g_slabs[i].size) return true;
+  }
+  return false;
+}
+
+unsigned long long heap_mat_allocs() noexcept {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+unsigned long long arena_served_allocs() noexcept {
+  return g_arena_served.load(std::memory_order_relaxed);
+}
+
+unsigned long long slab_bytes_reserved() noexcept {
+  return g_slab_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace nettag::plan

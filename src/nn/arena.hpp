@@ -1,0 +1,90 @@
+// Arena-backed allocator for Mat buffers (the storage half of the static
+// memory planner; the analysis half lives in nn/tape.hpp + nn/liveness.hpp).
+//
+// Mat keeps an owning std::vector for its floats, but the vector's allocator
+// is PlanAlloc: a stateless allocator whose behaviour is steered by a
+// thread-local "armed" slot. When the planner has replayed a tape entry it
+// arms the allocator with the planned slab address for the next buffer of the
+// exact right size; the very next vector allocation of that size on that
+// thread is served from the arena instead of the heap. Every other allocation
+// — parameters, checkpoint staging, copies, anything unplanned — takes the
+// ::operator new path and behaves exactly like std::allocator.
+//
+// Deallocation must be safe on any thread (serve hands result Mats across
+// threads), so freed pointers are tested against a global lock-free slab
+// registry: pointers inside a registered slab are no-ops (the arena recycles
+// whole slabs wholesale at plan-scope boundaries), everything else is
+// ::operator delete. Slabs are never returned to the OS; they stay registered
+// and reachable for the life of the process, bounded by geometric growth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nettag::plan {
+
+namespace detail {
+
+/// Serves the armed slab pointer if `bytes` matches the armed size exactly
+/// (consuming the arm), else nullptr. Counts arena-served allocations.
+void* take_armed(std::size_t bytes) noexcept;
+
+/// Heap fallback: ::operator new, counted as a Mat-buffer heap allocation.
+void* heap_alloc(std::size_t bytes);
+
+/// Frees `p` unless it lies inside a registered arena slab.
+void release(void* p) noexcept;
+
+}  // namespace detail
+
+/// Arms the calling thread's allocator: the next PlanAlloc allocation of
+/// exactly `bytes` bytes is served from `ptr`. A zero-byte arm is ignored.
+void arm(void* ptr, std::size_t bytes) noexcept;
+
+/// Clears any pending arm (idempotent). Called after every planned
+/// allocation site so a skipped allocation can never leak an arm forward.
+void disarm() noexcept;
+
+/// Ensures the calling thread's arena slab holds at least `bytes` bytes and
+/// returns its base, or nullptr if the slab registry is full. Growth
+/// allocates a fresh slab (old slabs stay registered: stale Mats from the
+/// previous plan scope may still point into them until they are destroyed).
+char* thread_arena(std::size_t bytes);
+
+/// True if `p` lies inside any registered arena slab.
+bool pointer_in_slab(const void* p) noexcept;
+
+// --- allocation counters (relaxed; exported via plan::stats_snapshot) -------
+unsigned long long heap_mat_allocs() noexcept;    ///< vector buffers from new
+unsigned long long arena_served_allocs() noexcept;///< vector buffers from slab
+unsigned long long slab_bytes_reserved() noexcept;///< live arena capacity, all threads
+
+/// Minimal allocator: std::allocator semantics plus the armed-slot fast path.
+/// Stateless (all state is thread-local or global), so vectors move/swap
+/// freely across planned and heap storage.
+template <typename T>
+struct PlanAlloc {
+  using value_type = T;
+  using is_always_equal = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  PlanAlloc() noexcept = default;
+  template <typename U>
+  PlanAlloc(const PlanAlloc<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (void* p = detail::take_armed(bytes)) return static_cast<T*>(p);
+    return static_cast<T*>(detail::heap_alloc(bytes));
+  }
+  void deallocate(T* p, std::size_t) noexcept { detail::release(p); }
+
+  friend bool operator==(const PlanAlloc&, const PlanAlloc&) noexcept { return true; }
+  friend bool operator!=(const PlanAlloc&, const PlanAlloc&) noexcept { return false; }
+};
+
+/// The element storage type of Mat (see nn/tensor.hpp).
+using FloatVec = std::vector<float, PlanAlloc<float>>;
+
+}  // namespace nettag::plan

@@ -1,0 +1,126 @@
+#include "nn/memplan.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace nettag::plan {
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+std::size_t align_up(std::size_t x) { return (x + kAlign - 1) / kAlign * kAlign; }
+
+struct Placed {
+  std::size_t offset;
+  std::size_t bytes;
+  Interval live;
+};
+
+bool bytes_overlap(std::size_t o1, std::size_t b1, std::size_t o2,
+                   std::size_t b2) {
+  return o1 < o2 + b2 && o2 < o1 + b1;
+}
+
+/// Lowest aligned offset where `bytes` fits without byte-overlapping any
+/// already-placed buffer whose live interval intersects `live`. `placed`
+/// must be sorted by offset: one pass bumping past time-overlapping
+/// occupants then yields the lowest hole, with no per-call allocation.
+std::size_t first_fit(const std::vector<Placed>& placed, std::size_t bytes,
+                      const Interval& live) {
+  std::size_t off = 0;
+  for (const Placed& p : placed) {
+    if (!p.live.overlaps(live)) continue;
+    if (!bytes_overlap(off, bytes, p.offset, p.bytes)) continue;
+    off = align_up(p.offset + p.bytes);
+  }
+  return off;
+}
+
+/// Inserts keeping `placed` sorted by offset (ties keep insertion order, so
+/// identical tapes still produce identical plans).
+void insert_sorted(std::vector<Placed>& placed, Placed p) {
+  auto it = std::upper_bound(
+      placed.begin(), placed.end(), p,
+      [](const Placed& a, const Placed& b) { return a.offset < b.offset; });
+  placed.insert(it, p);
+}
+
+}  // namespace
+
+MemPlan plan_memory(const Tape& tape, const LivenessResult& live,
+                    bool corrupt_for_test) {
+  MemPlan plan;
+  plan.alignment = kAlign;
+  plan.per_entry.resize(tape.entries.size());
+
+  struct Cand {
+    std::size_t entry;
+    bool is_grad;
+    std::size_t bytes;
+    Interval interval;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < tape.entries.size(); ++i) {
+    const TapeEntry& e = tape.entries[i];
+    const std::size_t bytes = static_cast<std::size_t>(e.rows) *
+                              static_cast<std::size_t>(e.cols) * sizeof(float);
+    plan.per_entry[i].temps.assign(e.temps.size(), kHeapSlot);
+    if (bytes == 0) continue;
+    if (e.value_planned) cands.push_back({i, false, bytes, live.value[i]});
+    if (e.requires_grad) cands.push_back({i, true, bytes, live.grad[i]});
+  }
+  // Largest first; deterministic tie-break so identical tapes produce
+  // identical plans.
+  std::stable_sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    if (a.entry != b.entry) return a.entry < b.entry;
+    return a.is_grad < b.is_grad;
+  });
+
+  std::vector<Placed> placed;
+  placed.reserve(cands.size());
+  std::size_t shared_end = 0;
+  for (const Cand& c : cands) {
+    const std::size_t off =
+        corrupt_for_test ? 0 : first_fit(placed, c.bytes, c.interval);
+    insert_sorted(placed, {off, c.bytes, c.interval});
+    shared_end = std::max(shared_end, off + c.bytes);
+    if (c.is_grad) {
+      plan.per_entry[c.entry].grad = off;
+    } else {
+      plan.per_entry[c.entry].value = off;
+    }
+  }
+
+  plan.buffers_planned = placed.size();
+  for (std::size_t a = 0; a < placed.size(); ++a) {
+    for (std::size_t b = 0; b < placed.size(); ++b) {
+      if (a != b && bytes_overlap(placed[a].offset, placed[a].bytes,
+                                  placed[b].offset, placed[b].bytes)) {
+        ++plan.buffers_coalesced;
+        break;
+      }
+    }
+  }
+
+  // Private region: temporaries never share bytes with anything.
+  std::size_t cursor = align_up(shared_end);
+  for (std::size_t i = 0; i < tape.entries.size(); ++i) {
+    const TapeEntry& e = tape.entries[i];
+    for (std::size_t k = 0; k < e.temps.size(); ++k) {
+      const std::size_t bytes = static_cast<std::size_t>(e.temps[k].first) *
+                                static_cast<std::size_t>(e.temps[k].second) *
+                                sizeof(float);
+      if (bytes == 0) continue;
+      plan.per_entry[i].temps[k] = cursor;
+      plan.buffers_planned += 1;
+      cursor = align_up(cursor + bytes);
+    }
+  }
+  plan.slab_bytes = cursor;
+  return plan;
+}
+
+}  // namespace nettag::plan

@@ -1,0 +1,29 @@
+// Greedy arena planner: colors non-interfering buffers of a recorded tape
+// into offsets of one reusable slab.
+//
+// Values and gradients go into a shared region: buffers are placed largest
+// first, each at the lowest 64-byte-aligned offset that does not byte-overlap
+// any already-placed buffer whose live interval intersects its own (interval
+// coloring with first-fit offsets). Temporaries are appended after the shared
+// region at private, never-shared offsets — they are captured inside backward
+// closures where the divergence-materialization path cannot reach them, so
+// they trade coalescing for unconditional safety (they still avoid the
+// per-step heap allocation, which is the dominant win).
+//
+// The emitted plan is advisory until analysis/plan_verify.hpp re-checks it
+// independently; a plan that fails verification is never installed.
+#pragma once
+
+#include "nn/liveness.hpp"
+#include "nn/tape.hpp"
+
+namespace nettag::plan {
+
+/// Plans every non-empty buffer of `tape` into slab offsets. When
+/// `corrupt_for_test` is set, every shared-region buffer is forced to offset
+/// 0 (overlapping live ranges then share bytes), for the verifier-rejection
+/// negative test.
+MemPlan plan_memory(const Tape& tape, const LivenessResult& live,
+                    bool corrupt_for_test = false);
+
+}  // namespace nettag::plan

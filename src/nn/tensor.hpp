@@ -14,24 +14,43 @@
 // gradient after the backward sweep, naming the producing op.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/check.hpp"
+#include "nn/arena.hpp"
 #include "util/rng.hpp"
 
 namespace nettag {
 
-/// Plain dense matrix (row-major).
+/// Plain dense matrix (row-major). Element storage is a PlanAlloc vector
+/// (nn/arena.hpp): identical to std::vector<float> behaviour everywhere,
+/// except that the memory planner can serve planned buffers from a reusable
+/// arena slab instead of the heap.
 struct Mat {
+  /// Dimension cap so rows*cols can never wrap std::size_t (and is rejected
+  /// long before a bogus multi-terabyte vector allocation is attempted).
+  static constexpr std::size_t kMaxElems = std::size_t{1} << 40;
+
   int rows = 0;
   int cols = 0;
-  std::vector<float> v;
+  plan::FloatVec v;
 
   Mat() = default;
-  Mat(int r, int c) : rows(r), cols(c), v(static_cast<std::size_t>(r) * c, 0.f) {}
+  Mat(int r, int c) : rows(r), cols(c) {
+    NETTAG_CHECK(r >= 0 && c >= 0,
+                 "Mat: negative dimensions " + std::to_string(r) + "x" +
+                     std::to_string(c));
+    NETTAG_CHECK(r == 0 || static_cast<std::size_t>(c) <=
+                               kMaxElems / static_cast<std::size_t>(r),
+                 "Mat: rows*cols overflows element cap at " +
+                     std::to_string(r) + "x" + std::to_string(c));
+    v.assign(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.f);
+  }
 
   float& at(int r, int c) { return v[static_cast<std::size_t>(r) * cols + c]; }
   float at(int r, int c) const { return v[static_cast<std::size_t>(r) * cols + c]; }
@@ -56,14 +75,21 @@ class Node {
   /// (pack_model_weights); when set, matmul uses it for the forward product.
   /// Training never sets this, so fp32 results and resume stay untouched.
   std::shared_ptr<const PackedMat> packed;
+  /// Tape slot assigned by the active plan scope (nn/tape.hpp); -1 for
+  /// leaves and nodes built outside a scope. Reset when the scope ends.
+  int plan_slot = -1;
 
   explicit Node(Mat v, bool rg = false) : value(std::move(v)), requires_grad(rg) {
     if (requires_grad) grad = Mat(value.rows, value.cols);
   }
 
+  /// (Re)allocates the gradient to match the value shape. A reallocation
+  /// explicitly zero-fills: a node whose value was reshaped mid-graph must
+  /// never see stale gradient bytes from a previous step.
   void ensure_grad() {
     if (grad.rows != value.rows || grad.cols != value.cols) {
       grad = Mat(value.rows, value.cols);
+      std::fill(grad.v.begin(), grad.v.end(), 0.f);
     }
   }
 
