@@ -1,0 +1,120 @@
+#include "net/client.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace nettag::net {
+
+namespace {
+
+/// Waits for `events` on `fd` within the timeout. Returns false (with a
+/// reason) on timeout or poll failure.
+bool wait_for(int fd, short events, int timeout_ms, std::string* error) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return true;
+    if (ready == 0) {
+      if (error) {
+        *error = std::string(events & POLLIN ? "read" : "write") +
+                 " timed out after " + std::to_string(timeout_ms) + "ms";
+      }
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (error) *error = errno_string("poll");
+    return false;
+  }
+}
+
+}  // namespace
+
+bool Client::connect(const cli::ListenAddress& address, std::string* error) {
+  close();
+  fd_ = connect_to(address, options_.connect_timeout_ms, error);
+  return fd_.valid();
+}
+
+bool Client::connect(const std::string& spec, std::string* error) {
+  cli::ListenAddress address;
+  if (!cli::parse_listen_address(spec.c_str(), &address, error)) return false;
+  return connect(address, error);
+}
+
+void Client::close() {
+  fd_.reset();
+  leftover_.clear();
+}
+
+bool Client::send_line(const std::string& line, std::string* error) {
+  if (!fd_.valid()) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const long n = send_some(fd_.get(), framed.data() + off,
+                             framed.size() - off);
+    if (n < 0) {
+      if (error) *error = "connection closed by server while sending";
+      close();
+      return false;
+    }
+    if (n == 0) {
+      // Blocking socket, but a full kernel buffer against a stalled daemon
+      // still needs the timeout: wait for writability, bounded.
+      if (!wait_for(fd_.get(), POLLOUT, options_.io_timeout_ms, error)) {
+        close();
+        return false;
+      }
+      continue;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::read_line(std::string* response, std::string* error) {
+  if (!fd_.valid()) {
+    if (error) *error = "not connected";
+    return false;
+  }
+  for (;;) {
+    const std::size_t nl = leftover_.find('\n');
+    if (nl != std::string::npos) {
+      std::size_t len = nl;
+      if (len > 0 && leftover_[len - 1] == '\r') --len;
+      response->assign(leftover_, 0, len);
+      leftover_.erase(0, nl + 1);
+      return true;
+    }
+    if (!wait_for(fd_.get(), POLLIN, options_.io_timeout_ms, error)) {
+      close();
+      return false;
+    }
+    char buf[64 * 1024];
+    const long n = read_some(fd_.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (error) {
+        *error = "connection closed by server (drained or crashed) before a "
+                 "response line arrived";
+      }
+      close();
+      return false;
+    }
+    if (n > 0) leftover_.append(buf, static_cast<std::size_t>(n));
+    // n == 0 (spurious wakeup / EINTR): poll again.
+  }
+}
+
+bool Client::request(const std::string& line, std::string* response,
+                     std::string* error) {
+  if (!send_line(line, error)) return false;
+  return read_line(response, error);
+}
+
+}  // namespace nettag::net

@@ -1,0 +1,64 @@
+// Blocking NDJSON client for the NetTAG-Serve daemon (docs/ARCHITECTURE.md
+// §11.5): connect to a unix path or host:port, send one request line, read
+// one response line, with real timeouts on connect and on each I/O call.
+//
+// Used by `nettag_serve --connect` (interactive / scripted clients), the
+// soak bench's client processes, and the daemon tests. One Client is one
+// connection and is NOT thread-safe — a multi-threaded load generator opens
+// one Client per thread. Because the daemon answers in completion order,
+// callers that pipeline multiple requests on one connection must match
+// responses to requests by `id`, not by arrival order; request() itself is
+// strictly one-in-one-out and needs no matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "util/cli.hpp"
+
+namespace nettag::net {
+
+class Client {
+ public:
+  struct Options {
+    int connect_timeout_ms = 5000;
+    /// Bound on each poll-wait while sending a request or awaiting a
+    /// response line. A saturated daemon sheds instead of stalling, so a
+    /// healthy round trip is far below this.
+    int io_timeout_ms = 30000;
+  };
+
+  Client() = default;
+  explicit Client(Options options) : options_(options) {}
+
+  /// Connects to a parsed address, or to a spec string ("unix:/path" or
+  /// "host:port"). Returns false with a descriptive *error (bad spec,
+  /// refused, timeout). Reconnecting an open client closes the old
+  /// connection first.
+  bool connect(const cli::ListenAddress& address, std::string* error);
+  bool connect(const std::string& spec, std::string* error);
+
+  bool connected() const { return fd_.valid(); }
+  void close();
+
+  /// Sends `line` (newline appended if absent) and blocks for one response
+  /// line, which is returned without its trailing newline. Returns false
+  /// with *error on timeout, EOF (daemon drained away), or socket failure —
+  /// the connection is closed then and must be re-connect()ed.
+  bool request(const std::string& line, std::string* response,
+               std::string* error);
+
+  /// Half of request(): send only (used to pipeline several requests before
+  /// reading; pair with read_line per response).
+  bool send_line(const std::string& line, std::string* error);
+  /// Half of request(): read the next response line.
+  bool read_line(std::string* response, std::string* error);
+
+ private:
+  Options options_;
+  UniqueFd fd_;
+  std::string leftover_;  ///< bytes read past the last returned line
+};
+
+}  // namespace nettag::net

@@ -1,0 +1,72 @@
+// NDJSON line framing for socket transports (docs/ARCHITECTURE.md §11.1).
+//
+// A LineBuffer accumulates raw bytes from non-blocking reads and yields
+// complete newline-terminated lines, tolerating any read fragmentation (one
+// request split across many reads, many requests arriving in one read). A
+// single oversized line — a request whose length exceeds the configured
+// bound before a newline appears — poisons the buffer: the framer cannot
+// resynchronize inside an unbounded line, so the daemon answers with a
+// structured error and closes that connection (bounded memory per client is
+// part of the backpressure story).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nettag::net {
+
+class LineBuffer {
+ public:
+  explicit LineBuffer(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes ? max_line_bytes : 1) {}
+
+  /// Appends raw bytes. Returns false once the buffer is poisoned by an
+  /// oversized line (bytes are dropped from then on).
+  bool feed(const char* data, std::size_t size) {
+    if (overflowed_) return false;
+    buf_.append(data, size);
+    if (buf_.size() - scan_from_ > max_line_bytes_ &&
+        buf_.find('\n', scan_from_) == std::string::npos) {
+      overflowed_ = true;
+      buf_.clear();
+      return false;
+    }
+    return true;
+  }
+
+  /// Extracts the next complete line (newline stripped; a trailing '\r' is
+  /// stripped too, so `nc`/telnet clients work). Returns false when no full
+  /// line is buffered. An over-long *complete* line still comes out — the
+  /// bound protects against lines that never end, and per-line size policy
+  /// (reject vs serve) belongs to the protocol layer above.
+  bool next_line(std::string* line) {
+    const std::size_t nl = buf_.find('\n', scan_from_);
+    if (nl == std::string::npos) {
+      scan_from_ = buf_.size();
+      return false;
+    }
+    std::size_t len = nl;
+    if (len > 0 && buf_[len - 1] == '\r') --len;
+    line->assign(buf_, 0, len);
+    buf_.erase(0, nl + 1);
+    scan_from_ = 0;
+    return true;
+  }
+
+  /// True once an unterminated line exceeded the bound; the connection
+  /// should be answered with an error and closed.
+  bool overflowed() const { return overflowed_; }
+
+  /// Bytes buffered but not yet returned (a partial trailing line).
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  const std::size_t max_line_bytes_;
+  std::string buf_;
+  /// Resume point for the newline scan: bytes before it were already
+  /// scanned, so repeated feeds of a long line stay O(new bytes).
+  std::size_t scan_from_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace nettag::net

@@ -1,0 +1,242 @@
+#include "net/shard.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "serve/canonical.hpp"
+
+namespace nettag::net {
+
+namespace {
+
+bool is_netlist_op(serve::Op op) {
+  switch (op) {
+    case serve::Op::kEmbedGates:
+    case serve::Op::kEmbedCone:
+    case serve::Op::kEmbedCircuit:
+    case serve::Op::kPredict:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// FNV-1a over raw bytes — the routing fallback for netlist ops whose text
+/// failed to parse (the shard reproduces the parse error; any stable shard
+/// works, this just spreads bad traffic instead of pinning it to shard 0).
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::size_t shard_cache_entries(std::size_t total, std::size_t shards) {
+  const std::size_t per = total / (shards ? shards : 1);
+  return per == 0 ? 1 : per;
+}
+
+}  // namespace
+
+ShardPool::ShardPool(serve::Server& server, std::size_t shards,
+                     std::size_t queue_depth, std::size_t total_cache_entries)
+    : server_(server), queue_depth_(queue_depth ? queue_depth : 1) {
+  if (shards == 0) shards = 1;
+  const std::size_t per_cache = shard_cache_entries(total_cache_entries,
+                                                    shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_cache));
+    shards_.back()->depth_hist.assign(queue_depth_ + 1, 0);
+  }
+  for (auto& s : shards_) {
+    s->worker = std::thread([this, shard = s.get()] { worker_loop(*shard); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  stopping_.store(true, std::memory_order_release);
+  paused_.store(false, std::memory_order_release);
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    s->cv.notify_all();
+  }
+  for (auto& s : shards_) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+  // Any tasks still queued at teardown get an internal-error response so the
+  // transport can answer them (normal shutdown drains first; this is the
+  // belt-and-braces path).
+  for (auto& s : shards_) {
+    for (Task& task : s->queue) {
+      serve::Response response;
+      response.id = task.request.id;
+      response.op = task.request.op;
+      response.error = serve::ErrorCode::kInternal;
+      response.error_message = "shard pool destroyed with queued requests";
+      if (task.done) task.done(std::move(response));
+    }
+    s->queue.clear();
+  }
+}
+
+std::size_t ShardPool::route(const serve::Request& request) {
+  const std::size_t n = shards_.size();
+  if (n == 1) return 0;
+  if (is_netlist_op(request.op)) {
+    if (request.pre_parsed) {
+      // Order-insensitive WL hash: renamed *and* reordered isomorphic
+      // netlists route identically, which is what makes per-shard caches an
+      // honest partition of the content-addressed cache.
+      return static_cast<std::size_t>(
+                 serve::structural_hash(*request.pre_parsed, 3, false)) %
+             n;
+    }
+    return static_cast<std::size_t>(fnv1a(request.netlist_text)) % n;
+  }
+  return static_cast<std::size_t>(
+             round_robin_.fetch_add(1, std::memory_order_relaxed)) %
+         n;
+}
+
+void ShardPool::submit(serve::Request request, Done done) {
+  Shard& shard = *shards_[route(request)];
+  const bool sheddable = is_netlist_op(request.op);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    ++shard.submitted;
+    const std::size_t depth = shard.queue.size();
+    shard.depth_hist[depth < queue_depth_ ? depth : queue_depth_] += 1;
+    if (!(sheddable && depth >= queue_depth_)) {
+      shard.queue.push_back(Task{std::move(request), std::move(done)});
+      shard.cv.notify_one();
+      return;
+    }
+    ++shard.shed;
+  }
+  // Shed path: answer inline with the structured taxonomy error. Counted as
+  // an error request in the server metrics so operators see shed load in
+  // the same requests_error / qps numbers as every other failure.
+  serve::Response response;
+  response.id = request.id;
+  response.op = request.op;
+  response.error = serve::ErrorCode::kTooBusy;
+  response.error_message =
+      "shard queue full (depth " + std::to_string(queue_depth_) +
+      "); retry later";
+  const double latency =
+      request.t_start.time_since_epoch().count() == 0
+          ? 0.0
+          : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          request.t_start)
+                .count();
+  server_.metrics().record_request(false, latency);
+  if (done) done(std::move(response));
+}
+
+void ShardPool::worker_loop(Shard& shard) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(shard.mu);
+      shard.cv.wait(lk, [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               (!paused_.load(std::memory_order_acquire) &&
+                !shard.queue.empty());
+      });
+      if (stopping_.load(std::memory_order_acquire)) return;
+      task = std::move(shard.queue.front());
+      shard.queue.pop_front();
+      shard.in_flight = true;
+    }
+    serve::Response response = server_.process_on(task.request, &shard.cache);
+    if (task.done) task.done(std::move(response));
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      shard.in_flight = false;
+      ++shard.processed;
+    }
+    // Taking drain_mu_ (even empty) before notifying pairs with the wait in
+    // drain(): without it, a drain() thread could evaluate pending()==1,
+    // have this completion slip in before it sleeps, and miss the wakeup.
+    {
+      std::lock_guard<std::mutex> lk(drain_mu_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+std::size_t ShardPool::pending() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    total += s->queue.size() + (s->in_flight ? 1 : 0);
+  }
+  return total;
+}
+
+void ShardPool::drain() {
+  std::unique_lock<std::mutex> lk(drain_mu_);
+  drain_cv_.wait(lk, [this] { return pending() == 0; });
+}
+
+void ShardPool::pause() {
+  paused_.store(true, std::memory_order_release);
+}
+
+void ShardPool::resume() {
+  paused_.store(false, std::memory_order_release);
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    s->cv.notify_all();
+  }
+}
+
+std::vector<ShardPool::ShardStats> ShardPool::stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    ShardStats stats;
+    {
+      std::lock_guard<std::mutex> lk(s->mu);
+      stats.submitted = s->submitted;
+      stats.processed = s->processed;
+      stats.shed = s->shed;
+      stats.queue_depth = s->queue.size() + (s->in_flight ? 1 : 0);
+      stats.queue_depth_histogram = s->depth_hist;
+    }
+    stats.cache = s->cache.stats();
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+void ShardPool::append_stats(serve::Json* j) const {
+  serve::Json arr = serve::Json::array();
+  for (const ShardStats& s : stats()) {
+    serve::Json shard = serve::Json::object();
+    shard.set("submitted", static_cast<double>(s.submitted));
+    shard.set("processed", static_cast<double>(s.processed));
+    shard.set("shed", static_cast<double>(s.shed));
+    shard.set("queue_depth", static_cast<double>(s.queue_depth));
+    serve::Json hist = serve::Json::array();
+    for (const std::uint64_t count : s.queue_depth_histogram) {
+      hist.push_back(static_cast<double>(count));
+    }
+    shard.set("queue_depth_histogram", std::move(hist));
+    serve::Json cache = serve::Json::object();
+    cache.set("entries", static_cast<double>(s.cache.entries));
+    cache.set("capacity", static_cast<double>(s.cache.capacity));
+    cache.set("hits", static_cast<double>(s.cache.hits));
+    cache.set("misses", static_cast<double>(s.cache.misses));
+    cache.set("evictions", static_cast<double>(s.cache.evictions));
+    cache.set("collisions", static_cast<double>(s.cache.collisions));
+    shard.set("result_cache", std::move(cache));
+    arr.push_back(std::move(shard));
+  }
+  j->set("shards", std::move(arr));
+}
+
+}  // namespace nettag::net

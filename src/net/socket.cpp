@@ -1,0 +1,259 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nettag::net {
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::string errno_string(const char* context) {
+  return std::string(context) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd, std::string* error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (error) *error = errno_string("fcntl(O_NONBLOCK)");
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool fill_unix_addr(const std::string& path, sockaddr_un* addr,
+                    std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error) *error = "unix socket path too long: " + path;
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+/// Resolves a numeric or named IPv4 host. getaddrinfo handles both and
+/// needs no network for numeric addresses and /etc/hosts names.
+bool resolve_ipv4(const std::string& host, std::uint16_t port,
+                  sockaddr_in* out, std::string* error) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    if (error) {
+      *error = "cannot resolve host '" + host + "': " + ::gai_strerror(rc);
+    }
+    return false;
+  }
+  std::memcpy(out, result->ai_addr, sizeof(sockaddr_in));
+  out->sin_port = htons(port);
+  ::freeaddrinfo(result);
+  return true;
+}
+
+}  // namespace
+
+UniqueFd listen_on(const cli::ListenAddress& address, int backlog,
+                   std::string* error) {
+  using Kind = cli::ListenAddress::Kind;
+  if (address.kind == Kind::kUnix) {
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      if (error) *error = errno_string("socket(AF_UNIX)");
+      return {};
+    }
+    sockaddr_un addr;
+    if (!fill_unix_addr(address.path, &addr, error)) return {};
+    // The daemon owns its socket path: a stale file left by a killed
+    // predecessor must not block startup, and an *active* predecessor is an
+    // operator error this replaces (matching common daemon practice).
+    ::unlink(address.path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      if (error) *error = errno_string("bind(unix)");
+      return {};
+    }
+    if (::listen(fd.get(), backlog) < 0) {
+      if (error) *error = errno_string("listen(unix)");
+      return {};
+    }
+    if (!set_nonblocking(fd.get(), error)) return {};
+    return fd;
+  }
+  if (address.kind == Kind::kTcp) {
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      if (error) *error = errno_string("socket(AF_INET)");
+      return {};
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    if (!resolve_ipv4(address.host, address.port, &addr, error)) return {};
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      if (error) *error = errno_string("bind(tcp)");
+      return {};
+    }
+    if (::listen(fd.get(), backlog) < 0) {
+      if (error) *error = errno_string("listen(tcp)");
+      return {};
+    }
+    if (!set_nonblocking(fd.get(), error)) return {};
+    return fd;
+  }
+  if (error) *error = "no listen address configured";
+  return {};
+}
+
+std::uint16_t bound_tcp_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+UniqueFd accept_connection(int listen_fd, bool* would_block,
+                           std::string* error) {
+  *would_block = false;
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      *would_block = true;
+    } else if (error) {
+      *error = errno_string("accept");
+    }
+    return {};
+  }
+  UniqueFd conn(fd);
+  std::string nb_error;
+  if (!set_nonblocking(conn.get(), &nb_error)) {
+    if (error) *error = nb_error;
+    return {};
+  }
+  return conn;
+}
+
+UniqueFd connect_to(const cli::ListenAddress& address, int timeout_ms,
+                    std::string* error) {
+  using Kind = cli::ListenAddress::Kind;
+  sockaddr_un unix_addr;
+  sockaddr_in tcp_addr;
+  sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+  int family = AF_UNIX;
+  if (address.kind == Kind::kUnix) {
+    if (!fill_unix_addr(address.path, &unix_addr, error)) return {};
+    addr = reinterpret_cast<sockaddr*>(&unix_addr);
+    addr_len = sizeof(unix_addr);
+  } else if (address.kind == Kind::kTcp) {
+    if (!resolve_ipv4(address.host, address.port, &tcp_addr, error)) return {};
+    addr = reinterpret_cast<sockaddr*>(&tcp_addr);
+    addr_len = sizeof(tcp_addr);
+    family = AF_INET;
+  } else {
+    if (error) *error = "no address to connect to";
+    return {};
+  }
+
+  UniqueFd fd(::socket(family, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    if (error) *error = errno_string("socket");
+    return {};
+  }
+  // Non-blocking connect + poll gives the timeout; the socket is switched
+  // back to blocking afterwards (the client wraps I/O in its own poll).
+  if (!set_nonblocking(fd.get(), error)) return {};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (::connect(fd.get(), addr, addr_len) == 0) break;
+    if (errno == EAGAIN && family == AF_UNIX) {
+      // Unix sockets report a *full listen backlog* as EAGAIN with the
+      // connection not initiated at all (unlike TCP, which queues SYNs).
+      // Treating it as in-progress would hand back an unconnected socket
+      // whose first send fails — retry until the deadline instead; a
+      // briefly flooded daemon accepts within a few poll ticks.
+      if (std::chrono::steady_clock::now() >= deadline) {
+        if (error) {
+          *error = "connect timed out after " + std::to_string(timeout_ms) +
+                   "ms (listen backlog full)";
+        }
+        return {};
+      }
+      ::poll(nullptr, 0, 5);
+      continue;
+    }
+    if (errno != EINPROGRESS) {
+      if (error) *error = errno_string("connect");
+      return {};
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      if (error) {
+        *error = ready == 0 ? "connect timed out after " +
+                                  std::to_string(timeout_ms) + "ms"
+                            : errno_string("poll(connect)");
+      }
+      return {};
+    }
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &so_len) < 0 ||
+        so_error != 0) {
+      if (error) {
+        *error = "connect failed: " +
+                 std::string(std::strerror(so_error ? so_error : errno));
+      }
+      return {};
+    }
+    break;
+  }
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+  return fd;
+}
+
+long send_some(int fd, const char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+long read_some(int fd, char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, data, size);
+    if (n > 0) return static_cast<long>(n);
+    if (n == 0) return -1;  // EOF
+    if (errno == EINTR) return 0;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+}  // namespace nettag::net

@@ -1,0 +1,85 @@
+// Thin POSIX socket layer for the NetTAG-Serve daemon (docs/ARCHITECTURE.md
+// §11): RAII file descriptors, unix-domain and TCP listeners, and a blocking
+// connect with a real timeout. Everything returns errors as strings — the
+// daemon and client layers decide whether an error is fatal (bad --listen
+// value) or per-connection (a peer reset).
+//
+// All sockets returned by the listen/accept helpers are non-blocking; the
+// poll loop owns all waiting. Writes use send(MSG_NOSIGNAL) so a client that
+// disconnects mid-response surfaces as EPIPE instead of killing the daemon
+// with SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/cli.hpp"
+
+namespace nettag::net {
+
+/// RAII owner of one file descriptor (socket, pipe end). Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// "<context>: <strerror(errno)>" at the moment of the failure.
+std::string errno_string(const char* context);
+
+/// Makes `fd` non-blocking. Returns false (and fills *error) on fcntl
+/// failure — which in practice means the fd is already dead.
+bool set_nonblocking(int fd, std::string* error);
+
+/// Binds + listens on `address` (unix path or host:port). A unix path that
+/// already exists is unlinked first — the daemon owns its socket path, and a
+/// stale file from a killed predecessor must not block startup. TCP
+/// listeners set SO_REUSEADDR and support port 0 (ephemeral; read the real
+/// port back with bound_tcp_port). The returned fd is non-blocking.
+UniqueFd listen_on(const cli::ListenAddress& address, int backlog,
+                   std::string* error);
+
+/// The locally bound TCP port of a listening socket (resolves port 0).
+/// Returns 0 on failure.
+std::uint16_t bound_tcp_port(int fd);
+
+/// Accepts one pending connection; the result is non-blocking. Returns an
+/// invalid fd with *would_block=true when the queue is empty, and an invalid
+/// fd with an error string on real accept failures.
+UniqueFd accept_connection(int listen_fd, bool* would_block,
+                           std::string* error);
+
+/// Connects to `address`, waiting at most `timeout_ms` for the connection to
+/// be established. The returned socket is left *blocking* — the client
+/// helper uses poll() around its reads/writes for per-call timeouts.
+UniqueFd connect_to(const cli::ListenAddress& address, int timeout_ms,
+                    std::string* error);
+
+/// send(fd, ..., MSG_NOSIGNAL) wrapper: returns bytes written, 0 on
+/// would-block, -1 on a dead peer (EPIPE/ECONNRESET/...).
+long send_some(int fd, const char* data, std::size_t size);
+
+/// read() wrapper: returns bytes read, 0 on would-block or EINTR, -1 on EOF
+/// or a dead peer.
+long read_some(int fd, char* data, std::size_t size);
+
+}  // namespace nettag::net

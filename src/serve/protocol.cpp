@@ -33,6 +33,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kLintRejected: return "lint_rejected";
     case ErrorCode::kUnknownTask: return "unknown_task";
     case ErrorCode::kReloadFailed: return "reload_failed";
+    case ErrorCode::kTooBusy: return "too_busy";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";

@@ -23,11 +23,16 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/tensor.hpp"
 #include "serve/json.hpp"
+
+namespace nettag {
+class Netlist;
+}
 
 namespace nettag::serve {
 
@@ -56,6 +61,7 @@ enum class ErrorCode {
   kLintRejected,  ///< src/analysis admission gate found errors
   kUnknownTask,   ///< predict against an unregistered task head
   kReloadFailed,  ///< reload checkpoint missing/corrupt; old model kept
+  kTooBusy,       ///< shard queue full — load shed, retry later (src/net)
   kInternal,      ///< unexpected exception (bug) — reported, not fatal
 };
 
@@ -75,6 +81,11 @@ struct Request {
   std::string parse_message;
   /// Stamped at submission; request latency = completion - t_start.
   std::chrono::steady_clock::time_point t_start{};
+  /// Daemon-internal (never on the wire): the router of src/net parses the
+  /// netlist once to compute the shard route hash and passes the parsed
+  /// structure along, so the shard worker does not parse the text a second
+  /// time. Null on the stdin / in-process paths — process() parses then.
+  std::shared_ptr<const Netlist> pre_parsed;
 };
 
 struct Response {

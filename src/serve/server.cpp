@@ -83,7 +83,12 @@ bool Server::shutdown_requested() const {
   return shutdown_.load(std::memory_order_relaxed);
 }
 
-std::string Server::render_stats() const {
+void Server::set_stats_extension(StatsExtension fn) {
+  std::lock_guard<std::mutex> lk(stats_ext_mu_);
+  stats_ext_ = std::move(fn);
+}
+
+std::string Server::stats_json() const {
   const ModelGen gen = snapshot();
   Json j = snapshot_to_json(metrics_.snapshot());
   j.set("result_cache", cache_stats_json(cache_.stats()));
@@ -115,10 +120,18 @@ std::string Server::render_stats() const {
   mp.set("heap_mat_allocs", static_cast<double>(ps.heap_mat_allocs));
   mp.set("slab_bytes", static_cast<double>(ps.slab_bytes));
   j.set("memory_plan", std::move(mp));
+  {
+    std::lock_guard<std::mutex> lk(stats_ext_mu_);
+    if (stats_ext_) stats_ext_(&j);
+  }
   return j.dump();
 }
 
 Response Server::process(const Request& request) {
+  return process_on(request, &cache_);
+}
+
+Response Server::process_on(const Request& request, ResultCache* cache) {
   Response response;
   response.id = request.id;
   response.op = request.op;
@@ -140,7 +153,7 @@ Response Server::process(const Request& request) {
       response.result_json = "{\"pong\":true}";
       break;
     case Op::kStats:
-      response.result_json = render_stats();
+      response.result_json = stats_json();
       break;
     case Op::kShutdown:
       shutdown_.store(true, std::memory_order_relaxed);
@@ -150,7 +163,7 @@ Response Server::process(const Request& request) {
       response = process_reload(request);
       break;
     default:
-      response = process_netlist_op(request);
+      response = process_netlist_op(request, cache ? cache : &cache_);
       break;
   }
   metrics_.record_request(response.ok(), seconds_since(request.t_start));
@@ -175,6 +188,16 @@ Response Server::process_reload(const Request& request) {
   std::lock_guard<std::mutex> reload_lk(reload_mu_);
   try {
     std::shared_ptr<NetTag> fresh = load_checkpoint(prefix);
+    {
+      // Text-cache capacity and stripe count are serving configuration
+      // (--text-cache-entries, daemon shard count), not checkpoint state —
+      // carry them onto the fresh model so a hot reload keeps the tuned
+      // layout instead of silently reverting to defaults.
+      std::lock_guard<std::mutex> lk(model_mu_);
+      fresh->text_cache().set_capacity(gen_.model->text_cache().capacity());
+      fresh->text_cache().set_partitions(
+          gen_.model->text_cache().partitions());
+    }
     const std::uint32_t crc = params_fingerprint(*fresh);
     if (config_.quantize) pack_model_weights(*fresh);
     bool changed;
@@ -197,7 +220,8 @@ Response Server::process_reload(const Request& request) {
   return response;
 }
 
-Response Server::process_netlist_op(const Request& request) {
+Response Server::process_netlist_op(const Request& request,
+                                    ResultCache* cache) {
   Response response;
   response.id = request.id;
   response.op = request.op;
@@ -206,18 +230,25 @@ Response Server::process_netlist_op(const Request& request) {
   const ModelGen gen = snapshot();
   const NetTag& model = *gen.model;
 
-  // Stage 1: parse the structural netlist text.
+  // Stage 1: parse the structural netlist text — unless the daemon's router
+  // already did (it parses once to compute the shard route hash and passes
+  // the structure along; the router records the parse stage time itself).
   Timer t;
-  Netlist nl;
-  try {
-    nl = netlist_from_string(request.netlist_text);
-  } catch (const std::exception& e) {
+  Netlist local_nl;
+  const Netlist* nl_ptr = request.pre_parsed.get();
+  if (nl_ptr == nullptr) {
+    try {
+      local_nl = netlist_from_string(request.netlist_text);
+    } catch (const std::exception& e) {
+      metrics_.record_stage(Stage::kParse, t.seconds());
+      response.error = ErrorCode::kParseError;
+      response.error_message = e.what();
+      return response;
+    }
     metrics_.record_stage(Stage::kParse, t.seconds());
-    response.error = ErrorCode::kParseError;
-    response.error_message = e.what();
-    return response;
+    nl_ptr = &local_nl;
   }
-  metrics_.record_stage(Stage::kParse, t.seconds());
+  const Netlist& nl = *nl_ptr;
 
   // Stage 2: admission gate — size bound, then src/analysis lint.
   if (nl.size() > config_.max_gates) {
@@ -283,7 +314,7 @@ Response Server::process_netlist_op(const Request& request) {
   // cache filled by one backend must never answer for the other.
   key.key += config_.quantize ? "|int8" : "|fp32";
   std::string payload;
-  if (cache_.lookup(key.key, key.fingerprint, &payload)) {
+  if (cache->lookup(key.key, key.fingerprint, &payload)) {
     response.result_json = std::move(payload);
     response.cached = true;
     return response;
@@ -339,7 +370,7 @@ Response Server::process_netlist_op(const Request& request) {
   metrics_.record_stage(Stage::kTagFormer,
                         timing.tagformer.load(std::memory_order_relaxed));
 
-  cache_.insert(key.key, key.fingerprint, payload);
+  cache->insert(key.key, key.fingerprint, payload);
   response.result_json = std::move(payload);
   response.cached = false;
   return response;

@@ -91,6 +91,27 @@ class Server {
   /// Convenience: parse, process, render one line synchronously.
   std::string handle_line(const std::string& line);
 
+  // --- shard API (src/net daemon) -----------------------------------------
+  /// Synchronous per-request processing against an explicit result-cache
+  /// partition — the socket daemon's shard workers call this directly, each
+  /// with its own partition, so isomorphic resubmissions routed to the same
+  /// shard hit that shard's cache (docs/ARCHITECTURE.md §11). `cache` null
+  /// falls back to the server's own cache. Thread-safe; any number of shard
+  /// workers may call concurrently (the model's inference API is const, the
+  /// metrics and caches are internally synchronized).
+  Response process_on(const Request& request, ResultCache* cache);
+
+  /// Appends daemon-owned sections (transport/shard counters) to the JSON a
+  /// `stats` request returns. Set once, before traffic (src/net wires this
+  /// at daemon start); the hook runs under the same snapshot as the rest of
+  /// the stats object and must be thread-safe.
+  using StatsExtension = std::function<void(Json*)>;
+  void set_stats_extension(StatsExtension fn);
+
+  /// The `stats` result object as a string (also the final-metrics line the
+  /// daemon emits on drain).
+  std::string stats_json() const;
+
   /// Set once a shutdown request is processed; the stdio loop exits cleanly.
   bool shutdown_requested() const;
 
@@ -114,9 +135,8 @@ class Server {
   /// Per-request handler: admission, cache, model work. Runs on pool
   /// workers; everything it touches is internally synchronized.
   Response process(const Request& request);
-  Response process_netlist_op(const Request& request);
+  Response process_netlist_op(const Request& request, ResultCache* cache);
   Response process_reload(const Request& request);
-  std::string render_stats() const;
 
   ServerConfig config_;
   /// Guards the generation swap only; requests work on their own snapshot,
@@ -133,6 +153,9 @@ class Server {
 
   mutable std::mutex tasks_mu_;
   std::map<std::string, TaskFn> tasks_;
+
+  mutable std::mutex stats_ext_mu_;
+  StatsExtension stats_ext_;
 
   std::atomic<bool> shutdown_{false};
   std::unique_ptr<Batcher> batcher_;  ///< last member: first destroyed

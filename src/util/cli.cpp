@@ -42,6 +42,69 @@ bool parse_int(const char* text, long long min_value, long long max_value,
   return true;
 }
 
+std::string ListenAddress::spec() const {
+  switch (kind) {
+    case Kind::kUnix: return "unix:" + path;
+    case Kind::kTcp: return host + ":" + std::to_string(port);
+    case Kind::kNone: break;
+  }
+  return "";
+}
+
+bool parse_listen_address(const char* text, ListenAddress* out,
+                          std::string* error) {
+  const std::string spec(text ? text : "");
+  if (spec.empty()) {
+    *error = "expected 'unix:/path' or 'host:port', got an empty value";
+    return false;
+  }
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty()) {
+      *error = "unix address " + quoted(text) + " has an empty socket path";
+      return false;
+    }
+    // sockaddr_un::sun_path is 108 bytes on Linux including the terminator.
+    if (path.size() > 107) {
+      *error = "unix socket path in " + quoted(text) +
+               " exceeds the 107-byte sockaddr_un limit";
+      return false;
+    }
+    out->kind = ListenAddress::Kind::kUnix;
+    out->path = path;
+    out->host.clear();
+    out->port = 0;
+    return true;
+  }
+  if (spec.find('[') != std::string::npos) {
+    *error = "bracketed IPv6 literals are not supported: " + quoted(text);
+    return false;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || spec.find(':') != colon) {
+    *error = "expected 'unix:/path' or 'host:port', got " + quoted(text);
+    return false;
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (host.empty()) {
+    *error = "listen address " + quoted(text) +
+             " has an empty host (use 0.0.0.0 for all interfaces)";
+    return false;
+  }
+  long long port = 0;
+  std::string port_error;
+  if (!parse_int(port_text.c_str(), 0, 65535, &port, &port_error)) {
+    *error = "bad port in " + quoted(text) + ": " + port_error;
+    return false;
+  }
+  out->kind = ListenAddress::Kind::kTcp;
+  out->host = host;
+  out->port = static_cast<std::uint16_t>(port);
+  out->path.clear();
+  return true;
+}
+
 bool parse_u64(const char* text, std::uint64_t* out, std::string* error) {
   // strtoull accepts "-1" (wrapping) and leading whitespace; require the
   // first character to be a digit (a hex value starts with the digit 0).

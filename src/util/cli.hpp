@@ -24,4 +24,27 @@ bool parse_int(const char* text, long long min_value, long long max_value,
 /// trailing junk. On failure returns false and sets *error.
 bool parse_u64(const char* text, std::uint64_t* out, std::string* error);
 
+/// A parsed `--listen` / `--connect` endpoint: either a unix-domain socket
+/// path (`unix:/run/nettag.sock`) or a TCP host:port (`127.0.0.1:7431`).
+/// kNone is the "no endpoint configured" sentinel (stdin-loop serving).
+struct ListenAddress {
+  enum class Kind { kNone, kUnix, kTcp };
+  Kind kind = Kind::kNone;
+  std::string path;        ///< unix: socket filesystem path
+  std::string host;        ///< tcp: numeric address or hostname
+  std::uint16_t port = 0;  ///< tcp: 0 requests an ephemeral port
+
+  /// Canonical printable form ("unix:/p" or "host:port"); "" for kNone.
+  std::string spec() const;
+};
+
+/// Parses `unix:/path` or `host:port`. Malformed values — an empty unix
+/// path, a path too long for sockaddr_un, a missing/empty host, a port that
+/// is not an integer in [0, 65535] — return false with an error message
+/// quoting the offending text (the tools print it plus usage instead of
+/// silently defaulting). Port 0 is accepted and means "bind an ephemeral
+/// port" (tests); bracketed IPv6 literals are rejected as unsupported.
+bool parse_listen_address(const char* text, ListenAddress* out,
+                          std::string* error);
+
 }  // namespace nettag::cli

@@ -69,6 +69,16 @@ class LruMap {
   std::size_t size() const { return order_.size(); }
   std::size_t capacity() const { return capacity_; }
 
+  /// Visits every entry from least- to most-recently used without touching
+  /// recency. The value reference is mutable — the text cache's
+  /// set_partitions moves rows out while redistributing across stripes.
+  template <typename Fn>
+  void for_each_oldest_first(Fn&& fn) {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
  private:
   std::size_t capacity_;
   /// Front = most recently used; pairs own the keys the index points at.

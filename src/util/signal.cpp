@@ -20,4 +20,14 @@ const std::atomic<bool>* install_stop_signals() {
 
 std::atomic<bool>* stop_signal_flag() { return &g_stop; }
 
+const std::atomic<bool>* install_stop_signals_interrupting() {
+  struct sigaction sa;
+  sa.sa_handler = stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: blocking reads return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  return &g_stop;
+}
+
 }  // namespace nettag

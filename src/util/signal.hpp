@@ -20,4 +20,12 @@ const std::atomic<bool>* install_stop_signals();
 /// The flag itself, without (re)installing handlers — test hook.
 std::atomic<bool>* stop_signal_flag();
 
+/// Like install_stop_signals, but registered without SA_RESTART: a signal
+/// arriving while the caller blocks in a read (the nettag_serve stdin loop,
+/// the daemon's poll) interrupts the call with EINTR so the loop observes
+/// the flag immediately, instead of finishing only after the *next* request
+/// line happens to arrive. Training tools keep the restarting variant —
+/// their checkpoint writes must not see short reads/writes mid-step.
+const std::atomic<bool>* install_stop_signals_interrupting();
+
 }  // namespace nettag

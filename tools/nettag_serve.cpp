@@ -6,6 +6,14 @@
 //                                         JSON requests on stdin, one JSON
 //                                         response line on stdout per request
 //                                         (docs/ARCHITECTURE.md §7.1)
+//   nettag_serve --model PREFIX --listen ADDR
+//                                         socket daemon (docs §11): serve the
+//                                         same NDJSON protocol to concurrent
+//                                         clients on a unix path or TCP port,
+//                                         sharded, with too_busy load shedding
+//   nettag_serve --connect ADDR           client: forward stdin request lines
+//                                         to a running daemon, print response
+//                                         lines on stdout
 //   nettag_serve --train-demo PREFIX      build a small corpus, briefly
 //                                         pre-train a compact model, and save
 //                                         a checkpoint — the quickstart /
@@ -14,24 +22,33 @@
 //
 // Flags (serve):
 //   --max-gates N          admission size bound (default 20000)
-//   --cache-entries N      result-cache bound (default 256)
+//   --cache-entries N      result-cache bound (default 256; the daemon splits
+//                          it across shard partitions)
 //   --text-cache-entries N frozen-text-embedding cache bound (default 4096)
 //   --max-batch N          largest request batch (default 32)
 //   --reject-warnings      strict admission: lint warnings also reject
 //   --quantize             serve the int8 packed-weight path (docs/PERFORMANCE.md §4)
 //   --log FILE             append one "<op> <status> <ms>" line per request
+// Flags (daemon):
+//   --listen ADDR          unix:/path/to.sock or host:port (port 0 = pick one)
+//   --shards N             worker shards / cache partitions (default 4)
+//   --queue-depth K        per-shard queue bound; beyond it netlist ops are
+//                          shed with too_busy (default 64)
 // Flags (train-demo):
 //   --seed S               generation/training seed (default 0x5eed)
 //   --designs N            designs per family (default 1)
 //
-// The daemon exits 0 on EOF or a `shutdown` request. A `reload` request
-// hot-swaps the model from a checkpoint prefix (default: the --model prefix)
-// without dropping in-flight work. Bad requests are
-// per-request error responses, never daemon failures. The stdin loop is
-// deliberately serial — each line is processed to completion before the
-// next is read, so wire-path batches always have size 1 and a replayed
-// request file yields byte-identical output. Concurrent batching happens
-// behind the in-process Server::submit_async API (see run_serve's note).
+// Exits 0 on EOF, a `shutdown` request, or SIGTERM/SIGINT — the signal path
+// drains: the stdin loop finishes the request it is on and the daemon
+// finishes every queued request, flushes responses, and prints final metrics
+// to stderr. A `reload` request hot-swaps the model from a checkpoint prefix
+// (default: the --model prefix) without dropping in-flight work. Bad
+// requests are per-request error responses, never daemon failures. The
+// stdin loop is deliberately serial — each line is processed to completion
+// before the next is read, so wire-path batches always have size 1 and a
+// replayed request file yields byte-identical output. Concurrent batching
+// happens across daemon shards, or behind the in-process
+// Server::submit_async API (see run_serve's note).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,8 +57,11 @@
 #include <vector>
 
 #include "core/pretrain.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/signal.hpp"
 #include "util/timer.hpp"
 
 using namespace nettag;
@@ -54,13 +74,18 @@ void usage(std::FILE* to) {
                "                    [--cache-entries N] [--text-cache-entries N]\n"
                "                    [--max-batch N] [--reject-warnings]\n"
                "                    [--quantize] [--log FILE]\n"
+               "                    [--listen ADDR [--shards N] [--queue-depth K]]\n"
+               "       nettag_serve --connect ADDR\n"
                "       nettag_serve --train-demo PREFIX [--seed S] [--designs N]\n"
                "       nettag_serve --help\n"
                "\n"
                "Serves gate/cone/circuit embeddings and task predictions for\n"
                "a pre-trained NetTAG checkpoint over newline-delimited JSON\n"
-               "on stdin/stdout. See docs/ARCHITECTURE.md section 7 for the\n"
-               "protocol grammar, error taxonomy, and `stats` fields.\n");
+               "on stdin/stdout, or — with --listen unix:/path or host:port —\n"
+               "as a sharded socket daemon for concurrent clients. --connect\n"
+               "bridges stdin/stdout to a running daemon. See\n"
+               "docs/ARCHITECTURE.md sections 7 and 11 for the protocol\n"
+               "grammar, error taxonomy, `stats` fields, and daemon design.\n");
 }
 
 int train_demo(const std::string& prefix, std::uint64_t seed, int designs) {
@@ -92,17 +117,25 @@ int train_demo(const std::string& prefix, std::uint64_t seed, int designs) {
   return 0;
 }
 
-int run_serve(const std::string& prefix, serve::ServerConfig config,
-          std::size_t text_cache_entries, const std::string& log_path) {
+std::unique_ptr<NetTag> load_serving_model(const std::string& prefix,
+                                           std::size_t text_cache_entries) {
   std::unique_ptr<NetTag> model;
   try {
     model = load_checkpoint(prefix);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nettag_serve: cannot load checkpoint '%s': %s\n",
                  prefix.c_str(), e.what());
-    return 2;
+    return nullptr;
   }
   model->text_cache().set_capacity(text_cache_entries);
+  return model;
+}
+
+int run_serve(const std::string& prefix, serve::ServerConfig config,
+          std::size_t text_cache_entries, const std::string& log_path) {
+  std::unique_ptr<NetTag> model =
+      load_serving_model(prefix, text_cache_entries);
+  if (!model) return 2;
 
   std::ofstream log;
   if (!log_path.empty()) {
@@ -120,6 +153,14 @@ int run_serve(const std::string& prefix, serve::ServerConfig config,
                "NDJSON requests on stdin\n",
                prefix.c_str(), server.model().embedding_dim());
 
+  // SIGTERM/SIGINT drain instead of killing mid-response: the handlers are
+  // installed *without* SA_RESTART, so a signal arriving while getline
+  // blocks interrupts the read and the loop exits; a signal arriving while
+  // a request is processing lets that request finish and its response flush
+  // (the next getline then fails with EINTR). Either way the last response
+  // written is complete, never truncated.
+  const std::atomic<bool>* stop = install_stop_signals_interrupting();
+
   // The wire transport is deliberately serial: one pipe is one client, and
   // processing each line to completion before reading the next makes the
   // response stream fully deterministic (a replayed request file always
@@ -127,7 +168,9 @@ int run_serve(const std::string& prefix, serve::ServerConfig config,
   // the in-process API's job — multi-threaded clients submitting through
   // Server::submit_async group into shared pool regions via the Batcher.
   std::string line;
-  while (!server.shutdown_requested() && std::getline(std::cin, line)) {
+  while (!server.shutdown_requested() &&
+         !stop->load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
     if (line.empty()) continue;
     Timer t;
     const serve::Response response = server.submit_line_async(line).get();
@@ -141,16 +184,81 @@ int run_serve(const std::string& prefix, serve::ServerConfig config,
     }
   }
   std::fprintf(stderr, "nettag_serve: %s, exiting\n",
-               server.shutdown_requested() ? "shutdown requested"
-                                           : "stdin closed");
+               server.shutdown_requested()
+                   ? "shutdown requested"
+                   : (stop->load(std::memory_order_relaxed)
+                          ? "stop signal received, in-flight request drained"
+                          : "stdin closed"));
+  return 0;
+}
+
+int run_daemon(const std::string& prefix, serve::ServerConfig config,
+               std::size_t text_cache_entries, net::DaemonConfig dcfg) {
+  std::unique_ptr<NetTag> model =
+      load_serving_model(prefix, text_cache_entries);
+  if (!model) return 2;
+  // One text-cache stripe per shard: shard workers embed concurrently and
+  // must not serialize on a single cache mutex. Reload carries the
+  // partition count onto the fresh model (serve/server.cpp).
+  model->text_cache().set_partitions(dcfg.shards);
+  dcfg.cache_entries = config.cache_entries;
+
+  serve::Server server(config, std::move(model));
+  net::Daemon daemon(server, dcfg);
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "nettag_serve: cannot listen on '%s': %s\n",
+                 dcfg.listen.spec().c_str(), error.c_str());
+    return 2;
+  }
+  if (dcfg.listen.kind == cli::ListenAddress::Kind::kTcp) {
+    // Print the *resolved* port so `--listen host:0` callers (tests, CI)
+    // can find the daemon.
+    std::fprintf(stderr,
+                 "nettag_serve: model '%s' loaded; listening on %s:%u "
+                 "(%zu shards, queue depth %zu)\n",
+                 prefix.c_str(), dcfg.listen.host.c_str(),
+                 static_cast<unsigned>(daemon.tcp_port()), dcfg.shards,
+                 dcfg.queue_depth);
+  } else {
+    std::fprintf(stderr,
+                 "nettag_serve: model '%s' loaded; listening on %s "
+                 "(%zu shards, queue depth %zu)\n",
+                 prefix.c_str(), dcfg.listen.spec().c_str(), dcfg.shards,
+                 dcfg.queue_depth);
+  }
+  const std::atomic<bool>* stop = install_stop_signals_interrupting();
+  return daemon.run(stop);
+}
+
+int run_client(const std::string& spec) {
+  net::Client client;
+  std::string error;
+  if (!client.connect(spec, &error)) {
+    std::fprintf(stderr, "nettag_serve: --connect %s: %s\n", spec.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  std::string line, response;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!client.request(line, &response, &error)) {
+      std::fprintf(stderr, "nettag_serve: %s\n", error.c_str());
+      return 1;
+    }
+    std::cout << response << "\n";
+    std::cout.flush();
+  }
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string model_prefix, demo_prefix, log_path;
+  std::string model_prefix, demo_prefix, log_path, connect_spec;
   serve::ServerConfig config;
+  net::DaemonConfig dcfg;
+  bool daemon_mode = false;
   std::size_t text_cache_entries = TextEmbeddingCache::kDefaultEntries;
   std::uint64_t seed = 0x5eed;
   int designs = 1;
@@ -203,6 +311,24 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--log")) {
       log_path = need_value(i);
       ++i;
+    } else if (!std::strcmp(arg, "--listen")) {
+      std::string err;
+      if (!cli::parse_listen_address(need_value(i), &dcfg.listen, &err)) {
+        std::fprintf(stderr, "nettag_serve: --listen: %s\n", err.c_str());
+        usage(stderr);
+        return 2;
+      }
+      daemon_mode = true;
+      ++i;
+    } else if (!std::strcmp(arg, "--shards")) {
+      dcfg.shards = need_count(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--queue-depth")) {
+      dcfg.queue_depth = need_count(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--connect")) {
+      connect_spec = need_value(i);
+      ++i;
     } else if (!std::strcmp(arg, "--seed")) {
       std::string err;
       if (!cli::parse_u64(need_value(i), &seed, &err)) {
@@ -226,6 +352,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!connect_spec.empty()) {
+    if (!model_prefix.empty() || !demo_prefix.empty() || daemon_mode) {
+      std::fprintf(stderr,
+                   "nettag_serve: --connect excludes --model/--train-demo/"
+                   "--listen\n");
+      return 2;
+    }
+    return run_client(connect_spec);
+  }
   if (!demo_prefix.empty() && !model_prefix.empty()) {
     std::fprintf(stderr,
                  "nettag_serve: --model and --train-demo are exclusive\n");
@@ -246,5 +381,9 @@ int main(int argc, char** argv) {
   // prefix-less reload request re-reads whatever the daemon was started from
   // (the common "the trainer just updated the checkpoint" case).
   config.model_prefix = model_prefix;
+  if (daemon_mode) {
+    return run_daemon(model_prefix, config, text_cache_entries,
+                      std::move(dcfg));
+  }
   return run_serve(model_prefix, config, text_cache_entries, log_path);
 }
