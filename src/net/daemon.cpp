@@ -37,6 +37,13 @@ Daemon::Daemon(serve::Server& server, DaemonConfig config)
 Daemon::~Daemon() {
   // The stats extension captures `this`; it must not outlive the daemon.
   server_.set_stats_extension(nullptr);
+  // Tear the shard pool down while the completion queue, its mutex, and the
+  // wake pipe are still alive: pool teardown joins workers (an in-flight
+  // task's done callback still fires) and answers leftover queued tasks, and
+  // those callbacks lock completions_mu_, push into completions_, and write
+  // wake_write_. Default member destruction runs in reverse declaration
+  // order, which would destroy all three before pool_.
+  pool_.reset();
   if (listener_.valid() &&
       config_.listen.kind == cli::ListenAddress::Kind::kUnix) {
     ::unlink(config_.listen.path.c_str());
@@ -82,6 +89,8 @@ bool Daemon::start(std::string* error) {
     transport.set("idle_closed", static_cast<double>(t.idle_closed));
     transport.set("oversize_closed",
                   static_cast<double>(t.oversize_closed));
+    transport.set("slow_reader_closed",
+                  static_cast<double>(t.slow_reader_closed));
     j->set("transport", std::move(transport));
     pool_->append_stats(j);
   });
@@ -164,6 +173,12 @@ void Daemon::poll_once(int timeout_ms, bool accepting, bool reading) {
         conn.woff >= conn.wbuf.size() && conn.rbuf.pending_bytes() == 0 &&
         idle > config_.idle_timeout_ms) {
       idle_closed_.fetch_add(1, std::memory_order_relaxed);
+      dead.push_back(conn.id);
+    } else if (conn.closing && conn.in_flight == 0 &&
+               idle > config_.idle_timeout_ms) {
+      // A closing connection normally dies when its wbuf flushes; a peer
+      // that never reads would keep it (and its buffered responses) pinned
+      // forever, so the idle timeout drops it with its backlog unflushed.
       dead.push_back(conn.id);
     }
   }
@@ -289,6 +304,15 @@ void Daemon::deliver_completions() {
     conn.wbuf += '\n';
     conn.last_activity = std::chrono::steady_clock::now();
     responses_out_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn.closing &&
+        conn.wbuf.size() - conn.woff > config_.max_wbuf_bytes) {
+      // The client keeps submitting but is not reading its responses: stop
+      // reading from it (closing connections get no POLLIN) so the backlog
+      // stays bounded, flush what we can, and close once it drains. Growth
+      // past the bound is limited to responses already in flight.
+      slow_reader_closed_.fetch_add(1, std::memory_order_relaxed);
+      conn.closing = true;
+    }
     if (!flush_writes(conn)) close_connection(conn_id);
   }
 }
@@ -363,6 +387,7 @@ Daemon::TransportStats Daemon::transport_stats() const {
   t.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   t.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   t.oversize_closed = oversize_closed_.load(std::memory_order_relaxed);
+  t.slow_reader_closed = slow_reader_closed_.load(std::memory_order_relaxed);
   return t;
 }
 

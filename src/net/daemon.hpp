@@ -47,6 +47,11 @@ struct DaemonConfig {
   std::size_t queue_depth = 64;      ///< per-shard; beyond it, netlist ops shed
   std::size_t max_connections = 512; ///< accepted beyond this: closed at once
   std::size_t max_line_bytes = 8u << 20;  ///< unterminated-line bound
+  /// Unwritten response bytes buffered per connection before the daemon
+  /// stops reading from it and closes it once (if ever) the backlog
+  /// flushes. Bounds the memory a client that submits requests but never
+  /// reads responses can pin.
+  std::size_t max_wbuf_bytes = 8u << 20;
   int idle_timeout_ms = 60000;       ///< quiet connections with no in-flight
   int poll_interval_ms = 200;        ///< poll() tick; bounds stop-flag latency
   int drain_timeout_ms = 10000;      ///< bound on the graceful-drain flush
@@ -94,6 +99,7 @@ class Daemon {
     std::uint64_t bytes_out = 0;
     std::uint64_t idle_closed = 0;
     std::uint64_t oversize_closed = 0;
+    std::uint64_t slow_reader_closed = 0;  ///< wbuf exceeded max_wbuf_bytes
   };
   TransportStats transport_stats() const;
 
@@ -145,7 +151,8 @@ class Daemon {
   // shard worker threads.
   std::atomic<std::uint64_t> accepts_{0}, rejected_{0}, connections_{0},
       peak_connections_{0}, lines_in_{0}, responses_out_{0}, bytes_in_{0},
-      bytes_out_{0}, idle_closed_{0}, oversize_closed_{0};
+      bytes_out_{0}, idle_closed_{0}, oversize_closed_{0},
+      slow_reader_closed_{0};
 };
 
 }  // namespace nettag::net

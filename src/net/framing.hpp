@@ -25,7 +25,13 @@ class LineBuffer {
   bool feed(const char* data, std::size_t size) {
     if (overflowed_) return false;
     buf_.append(data, size);
-    if (buf_.size() - scan_from_ > max_line_bytes_ &&
+    // The bound is on the *whole* unterminated line, which always starts at
+    // offset 0 (next_line erases everything up to the last extracted
+    // newline) — measuring only the bytes past scan_from_ would let a line
+    // streamed in small chunks, with next_line() draining between reads,
+    // grow without ever tripping the check. The newline scan itself still
+    // resumes at scan_from_, and only runs once the size bound is exceeded.
+    if (buf_.size() > max_line_bytes_ &&
         buf_.find('\n', scan_from_) == std::string::npos) {
       overflowed_ = true;
       buf_.clear();

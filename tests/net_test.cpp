@@ -123,6 +123,23 @@ TEST(LineBuffer, OversizedUnterminatedLinePoisonsBuffer) {
   EXPECT_FALSE(buf.next_line(&line));
 }
 
+TEST(LineBuffer, OversizedLineFedInChunksStillPoisons) {
+  // The daemon drains lines after every read: feed() and next_line()
+  // alternate. The bound must apply to the whole accumulated unterminated
+  // line, not just the bytes each feed appends.
+  LineBuffer buf(16);
+  std::string line;
+  bool overflowed = false;
+  for (int i = 0; i < 8 && !overflowed; ++i) {
+    overflowed = !buf.feed("xxxxxxxx", 8);  // 8-byte chunks, never a newline
+    if (!overflowed) EXPECT_FALSE(buf.next_line(&line));
+  }
+  EXPECT_TRUE(overflowed);
+  EXPECT_TRUE(buf.overflowed());
+  EXPECT_FALSE(buf.feed("a\n", 2));  // poisoned: further bytes are dropped
+  EXPECT_FALSE(buf.next_line(&line));
+}
+
 TEST(LineBuffer, CompleteLineWithinBoundSurvivesIncrementalFeeds) {
   LineBuffer buf(16);
   std::string line;
@@ -378,6 +395,35 @@ TEST(Daemon, BindsEphemeralTcpPortAndServes) {
   EXPECT_EQ(j.find("status")->as_string(), "ok");
 }
 
+TEST(Daemon, SlowReaderExceedingWriteBufferBoundIsClosed) {
+  const std::string path = unique_sock_path("slowreader");
+  DaemonConfig cfg;
+  std::string err;
+  ASSERT_TRUE(cli::parse_listen_address(("unix:" + path).c_str(), &cfg.listen,
+                                        &err))
+      << err;
+  cfg.shards = 1;
+  cfg.poll_interval_ms = 20;
+  cfg.max_wbuf_bytes = 1;  // any rendered response trips the bound
+  DaemonFixture fx(cfg);
+  ASSERT_TRUE(fx.runner.joinable());
+
+  Client client;
+  ASSERT_TRUE(client.connect("unix:" + path, &err)) << err;
+  ASSERT_TRUE(client.send_line(request_line("w1", "ping", nullptr), &err))
+      << err;
+  // The over-bound response is still flushed before the close...
+  std::string response;
+  ASSERT_TRUE(client.read_line(&response, &err)) << err;
+  Json j;
+  ASSERT_TRUE(Json::parse(response, &j, &err)) << response;
+  EXPECT_EQ(j.find("id")->as_string(), "w1");
+  // ...then the daemon closes the connection rather than buffering further
+  // output for a client that is not keeping up.
+  EXPECT_FALSE(client.read_line(&response, &err));
+  EXPECT_EQ(fx.daemon->transport_stats().slow_reader_closed, 1u);
+}
+
 TEST(Daemon, ShutdownRequestDrainsAndStopsRunLoop) {
   const std::string path = unique_sock_path("shutdown");
   DaemonConfig cfg;
@@ -443,6 +489,38 @@ TEST(Daemon, StopFlagDrainsInFlightRequestsBeforeExit) {
 
   fx.runner.join();
   EXPECT_EQ(fx.run_result, 0);
+}
+
+TEST(Daemon, DestructionAfterDrainTimeoutWithQueuedWorkIsSafe) {
+  const std::string path = unique_sock_path("dtor");
+  DaemonConfig cfg;
+  std::string err;
+  ASSERT_TRUE(cli::parse_listen_address(("unix:" + path).c_str(), &cfg.listen,
+                                        &err))
+      << err;
+  cfg.shards = 1;
+  cfg.poll_interval_ms = 20;
+  cfg.drain_timeout_ms = 100;  // give up on the paused shard quickly
+  auto fx = std::make_unique<DaemonFixture>(cfg);
+  ASSERT_TRUE(fx->runner.joinable());
+  fx->daemon->shard_pool()->pause();  // the queued request never completes
+
+  Client client;
+  ASSERT_TRUE(client.connect("unix:" + path, &err)) << err;
+  ASSERT_TRUE(client.send_line(request_line("d1", "embed_gates", kAndNetlist),
+                               &err))
+      << err;
+  for (int i = 0; i < 200 && fx->daemon->shard_pool()->pending() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GT(fx->daemon->shard_pool()->pending(), 0u);
+
+  fx->stop.store(true);
+  fx->runner.join();  // drain times out with the request still queued
+  // Destroying the daemon now tears the shard pool down first; pool teardown
+  // answers the leftover request through the completion queue, which must
+  // still be alive (TSan/ASan guard the member destruction order here).
+  fx.reset();
 }
 
 // --- SIGTERM during an in-flight batch (serve path regression) --------------
