@@ -20,7 +20,8 @@ namespace nettag {
 NetTag::NetTag(const NetTagConfig& config, std::uint64_t seed)
     : config_(config),
       init_rng_(seed),
-      text_cache_(config.text_cache_entries) {
+      text_cache_(
+          std::make_shared<TextEmbeddingCache>(config.text_cache_entries)) {
   expr_llm_ = std::make_unique<TextEncoder>(vocab_, config.expr_llm, init_rng_);
   TagFormerConfig tf;
   tf.in_dim = tag_in_dim();
@@ -38,24 +39,31 @@ int NetTag::tag_in_dim() const {
 }
 
 std::vector<float> NetTag::cached_text_embedding(const std::string& attr) const {
-  // Cache key: the anonymized token-id sequence, so attributes differing
-  // only by instance names share an entry.
+  // Cache key: the replica salt (empty for a privately-owned cache) plus the
+  // anonymized token-id sequence, so attributes differing only by instance
+  // names share an entry while models with different weights never do.
   const std::vector<int> ids =
       encode_text(vocab_, attr, static_cast<std::size_t>(config_.expr_llm.max_len));
-  std::string key;
-  key.reserve(ids.size() * 2);
+  std::string key = text_key_salt_;
+  key.reserve(key.size() + ids.size() * 2);
   for (int id : ids) {
     key.push_back(static_cast<char>(id & 0xff));
     key.push_back(static_cast<char>((id >> 8) & 0xff));
   }
   std::vector<float> row;
-  if (text_cache_.lookup(key, &row)) return row;
+  if (text_cache_->lookup(key, &row)) return row;
   // Encode outside the cache lock; a racing duplicate encode produces the
   // identical value, so which thread's insert wins does not affect results.
   const Tensor emb = expr_llm_->encode_ids(ids);
   row.assign(emb->value.v.begin(), emb->value.v.end());
-  text_cache_.insert(key, row);
+  text_cache_->insert(key, row);
   return row;
+}
+
+void NetTag::share_text_cache(std::shared_ptr<TextEmbeddingCache> cache,
+                              std::string key_salt) {
+  if (cache) text_cache_ = std::move(cache);
+  text_key_salt_ = std::move(key_salt);
 }
 
 Mat NetTag::input_features(const TagGraph& tag, const Mat& base_feats) const {

@@ -126,11 +126,26 @@ class NetTag {
   void save(const std::string& path_prefix) const;
   void load(const std::string& path_prefix);
 
-  void clear_text_cache() { text_cache_.clear(); }
-  std::size_t text_cache_size() const { return text_cache_.size(); }
+  void clear_text_cache() { text_cache_->clear(); }
+  std::size_t text_cache_size() const { return text_cache_->size(); }
   /// Counter access for the serve `stats` endpoint.
-  const TextEmbeddingCache& text_cache() const { return text_cache_; }
-  TextEmbeddingCache& text_cache() { return text_cache_; }
+  const TextEmbeddingCache& text_cache() const { return *text_cache_; }
+  TextEmbeddingCache& text_cache() { return *text_cache_; }
+  /// The cache as a shareable handle (serve/registry.hpp adopts the first
+  /// replica's cache as the process-wide striped cache).
+  std::shared_ptr<TextEmbeddingCache> text_cache_ptr() const {
+    return text_cache_;
+  }
+
+  /// Attaches a shared text-embedding cache (replacing this model's own) and
+  /// a key salt prefixed to every cache key. The serve model registry gives
+  /// all replicas one striped cache but salts each replica's keys with its
+  /// weights CRC: replicas loaded from the same checkpoint share entries,
+  /// while different weights can never replay each other's rows (the cached
+  /// value depends on the encoder parameters, not just the token sequence).
+  /// Must not race with lookups (call before the model takes traffic).
+  void share_text_cache(std::shared_ptr<TextEmbeddingCache> cache,
+                        std::string key_salt);
 
  private:
   /// Frozen text embedding of one attribute, cached by token-id sequence.
@@ -141,7 +156,9 @@ class NetTag {
   Rng init_rng_;
   std::unique_ptr<TextEncoder> expr_llm_;
   std::unique_ptr<TagFormer> tagformer_;
-  mutable TextEmbeddingCache text_cache_;
+  mutable std::shared_ptr<TextEmbeddingCache> text_cache_;
+  /// Prefixed to every text-cache key (empty for a privately-owned cache).
+  std::string text_key_salt_;
 };
 
 // --- checkpoints -------------------------------------------------------------

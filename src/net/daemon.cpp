@@ -12,22 +12,6 @@
 
 namespace nettag::net {
 
-namespace {
-
-bool is_netlist_op(serve::Op op) {
-  switch (op) {
-    case serve::Op::kEmbedGates:
-    case serve::Op::kEmbedCone:
-    case serve::Op::kEmbedCircuit:
-    case serve::Op::kPredict:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 Daemon::Daemon(serve::Server& server, DaemonConfig config)
     : server_(server), config_(std::move(config)) {
   if (config_.shards == 0) config_.shards = 1;
@@ -261,7 +245,7 @@ void Daemon::submit_line(Conn& conn, const std::string& line) {
   if (line.empty()) return;  // blank lines are keep-alive no-ops
   serve::Request request = serve::parse_request(line);
   request.t_start = std::chrono::steady_clock::now();
-  if (is_netlist_op(request.op) &&
+  if (serve::is_netlist_op(request.op) &&
       request.parse_error == serve::ErrorCode::kNone &&
       !request.netlist_text.empty()) {
     // Parse once on the transport thread: the route hash needs the

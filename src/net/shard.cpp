@@ -9,19 +9,9 @@ namespace nettag::net {
 
 namespace {
 
-bool is_netlist_op(serve::Op op) {
-  switch (op) {
-    case serve::Op::kEmbedGates:
-    case serve::Op::kEmbedCone:
-    case serve::Op::kEmbedCircuit:
-    case serve::Op::kPredict:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// FNV-1a over raw bytes — the routing fallback for netlist ops whose text
+/// FNV-1a over raw bytes. Routes two things: the replica name (composed
+/// into every netlist-op route so per-shard cache affinity holds *per
+/// replica*) and — as a fallback — the raw text of netlist ops whose text
 /// failed to parse (the shard reproduces the parse error; any stable shard
 /// works, this just spreads bad traffic instead of pinning it to shard 0).
 std::uint64_t fnv1a(const std::string& text) {
@@ -85,16 +75,26 @@ ShardPool::~ShardPool() {
 std::size_t ShardPool::route(const serve::Request& request) {
   const std::size_t n = shards_.size();
   if (n == 1) return 0;
-  if (is_netlist_op(request.op)) {
+  if (serve::is_netlist_op(request.op)) {
+    // The replica name joins the route hash: cache keys are namespaced per
+    // replica (serve/registry.hpp), so the same netlist addressed to two
+    // replicas is two distinct cache entries — composing the name keeps
+    // each entry pinned to one shard (affinity per replica), and spreads
+    // one hot netlist served under many replica names across shards.
+    const std::uint64_t name_hash =
+        fnv1a(request.model.empty() ? std::string(serve::kDefaultModelName)
+                                    : request.model);
     if (request.pre_parsed) {
       // Order-insensitive WL hash: renamed *and* reordered isomorphic
       // netlists route identically, which is what makes per-shard caches an
       // honest partition of the content-addressed cache.
       return static_cast<std::size_t>(
-                 serve::structural_hash(*request.pre_parsed, 3, false)) %
+                 serve::structural_hash(*request.pre_parsed, 3, false) ^
+                 name_hash) %
              n;
     }
-    return static_cast<std::size_t>(fnv1a(request.netlist_text)) % n;
+    return static_cast<std::size_t>(fnv1a(request.netlist_text) ^ name_hash) %
+           n;
   }
   return static_cast<std::size_t>(
              round_robin_.fetch_add(1, std::memory_order_relaxed)) %
@@ -103,7 +103,7 @@ std::size_t ShardPool::route(const serve::Request& request) {
 
 void ShardPool::submit(serve::Request request, Done done) {
   Shard& shard = *shards_[route(request)];
-  const bool sheddable = is_netlist_op(request.op);
+  const bool sheddable = serve::is_netlist_op(request.op);
   {
     std::lock_guard<std::mutex> lk(shard.mu);
     ++shard.submitted;

@@ -1,6 +1,7 @@
 #include "serve/protocol.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 
@@ -15,12 +16,31 @@ const char* op_name(Op op) {
     case Op::kStats: return "stats";
     case Op::kShutdown: return "shutdown";
     case Op::kReload: return "reload";
+    case Op::kModelLoad: return "model_load";
+    case Op::kModelUnload: return "model_unload";
+    case Op::kModelList: return "model_list";
     case Op::kEmbedGates: return "embed_gates";
     case Op::kEmbedCone: return "embed_cone";
     case Op::kEmbedCircuit: return "embed_circuit";
     case Op::kPredict: return "predict";
   }
   return "invalid";
+}
+
+bool is_netlist_op(Op op) {
+  switch (op) {
+    case Op::kEmbedGates:
+    case Op::kEmbedCone:
+    case Op::kEmbedCircuit:
+    case Op::kPredict:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_control_op(Op op) {
+  return op != Op::kInvalid && !is_netlist_op(op);
 }
 
 const char* error_code_name(ErrorCode code) {
@@ -32,6 +52,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTooLarge: return "too_large";
     case ErrorCode::kLintRejected: return "lint_rejected";
     case ErrorCode::kUnknownTask: return "unknown_task";
+    case ErrorCode::kUnknownModel: return "unknown_model";
     case ErrorCode::kReloadFailed: return "reload_failed";
     case ErrorCode::kTooBusy: return "too_busy";
     case ErrorCode::kInternal: return "internal";
@@ -43,6 +64,7 @@ namespace {
 
 bool op_from_name(const std::string& name, Op* out) {
   for (Op op : {Op::kPing, Op::kStats, Op::kShutdown, Op::kReload,
+                Op::kModelLoad, Op::kModelUnload, Op::kModelList,
                 Op::kEmbedGates, Op::kEmbedCone, Op::kEmbedCircuit,
                 Op::kPredict}) {
     if (name == op_name(op)) {
@@ -53,10 +75,98 @@ bool op_from_name(const std::string& name, Op* out) {
   return false;
 }
 
-bool needs_netlist(Op op) {
-  return op == Op::kEmbedGates || op == Op::kEmbedCone ||
-         op == Op::kEmbedCircuit || op == Op::kPredict;
+constexpr std::uint32_t op_bit(Op op) {
+  return 1u << static_cast<unsigned>(op);
 }
+
+constexpr std::uint32_t kNetlistOps = op_bit(Op::kEmbedGates) |
+                                      op_bit(Op::kEmbedCone) |
+                                      op_bit(Op::kEmbedCircuit) |
+                                      op_bit(Op::kPredict);
+
+/// One wire field: its name, which ops accept it, the bad_request message a
+/// mistyped/out-of-range value earns, and the typed validate-and-store step.
+/// parse_request is entirely driven by this table — adding a field is one
+/// row, and any field the table does not map to the request's op is a
+/// structured error, never silently ignored.
+struct FieldSpec {
+  const char* name;
+  std::uint32_t ops;     ///< op_bit mask of ops that accept the field
+  const char* type_msg;  ///< error message when apply() rejects the value
+  bool (*apply)(const Json& value, Request* out);
+};
+
+const FieldSpec kFieldSpecs[] = {
+    {"netlist", kNetlistOps, "'netlist' must be a string",
+     [](const Json& v, Request* out) {
+       if (!v.is_string()) return false;
+       out->netlist_text = v.as_string();
+       return true;
+     }},
+    {"k_hop", kNetlistOps, "'k_hop' must be an integer in [0,16]",
+     [](const Json& v, Request* out) {
+       const double d = v.as_number(-1.0);
+       if (!v.is_number() || d != std::floor(d) || d < 0 || d > 16) {
+         return false;
+       }
+       out->k_hop = static_cast<int>(d);
+       return true;
+     }},
+    {"max_cone_gates", kNetlistOps, "'max_cone_gates' must be an integer >= 1",
+     [](const Json& v, Request* out) {
+       const double d = v.as_number(0.0);
+       if (!v.is_number() || d != std::floor(d) || d < 1) return false;
+       out->max_cone_gates = static_cast<std::size_t>(v.as_int());
+       return true;
+     }},
+    {"task", op_bit(Op::kPredict), "'task' must be a string",
+     [](const Json& v, Request* out) {
+       if (!v.is_string()) return false;
+       out->task = v.as_string();
+       return true;
+     }},
+    {"model",
+     kNetlistOps | op_bit(Op::kReload) | op_bit(Op::kModelLoad) |
+         op_bit(Op::kModelUnload),
+     "'model' must be a non-empty string",
+     [](const Json& v, Request* out) {
+       if (!v.is_string() || v.as_string().empty()) return false;
+       out->model = v.as_string();
+       return true;
+     }},
+    {"model_prefix", op_bit(Op::kReload) | op_bit(Op::kModelLoad),
+     "'model_prefix' must be a non-empty string",
+     [](const Json& v, Request* out) {
+       if (!v.is_string() || v.as_string().empty()) return false;
+       out->model_prefix = v.as_string();
+       return true;
+     }},
+    {"quantize", op_bit(Op::kModelLoad), "'quantize' must be a boolean",
+     [](const Json& v, Request* out) {
+       if (!v.is_bool()) return false;
+       out->quantize = v.as_bool() ? 1 : 0;
+       return true;
+     }},
+};
+
+/// Required fields, checked after the per-field pass: (ops mask, request
+/// member emptiness probe, field name for the error message).
+struct RequiredSpec {
+  std::uint32_t ops;
+  bool (*missing)(const Request& req);
+  const char* name;
+};
+
+const RequiredSpec kRequiredSpecs[] = {
+    {kNetlistOps, [](const Request& r) { return r.netlist_text.empty(); },
+     "netlist"},
+    {op_bit(Op::kPredict), [](const Request& r) { return r.task.empty(); },
+     "task"},
+    {op_bit(Op::kModelLoad) | op_bit(Op::kModelUnload),
+     [](const Request& r) { return r.model.empty(); }, "model"},
+    {op_bit(Op::kModelLoad),
+     [](const Request& r) { return r.model_prefix.empty(); }, "model_prefix"},
+};
 
 }  // namespace
 
@@ -90,60 +200,46 @@ Request parse_request(const std::string& line) {
     req.parse_message = "unknown op '" + op->as_string() + "'";
     return req;
   }
-  // A present-but-mistyped field is a client error, never a silent default:
-  // {"k_hop":"3"} must not run with k_hop=0 (and cache that result).
-  if (const Json* nl = doc.find("netlist")) {
-    if (!nl->is_string()) {
+  // Single table-driven pass over the request's fields. A field the table
+  // does not know, or knows but not for this op, is a client error naming
+  // the field — a typo like "khop" must not silently run with defaults (and
+  // cache that result). A present-but-mistyped value likewise never
+  // defaults: {"k_hop":"3"} is rejected, not run with k_hop=0.
+  const std::uint32_t bit = op_bit(req.op);
+  for (const auto& member : doc.members()) {
+    if (member.first == "id" || member.first == "op") continue;
+    const FieldSpec* spec = nullptr;
+    for (const FieldSpec& candidate : kFieldSpecs) {
+      if (member.first == candidate.name) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
       req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'netlist' must be a string";
+      req.parse_message = "unknown field '" + member.first + "' for op '" +
+                          op_name(req.op) + "'";
       return req;
     }
-    req.netlist_text = nl->as_string();
-  }
-  if (const Json* k = doc.find("k_hop")) {
-    const double v = k->as_number(-1.0);
-    if (!k->is_number() || v != std::floor(v) || v < 0 || v > 16) {
+    if ((spec->ops & bit) == 0) {
       req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'k_hop' must be an integer in [0,16]";
+      req.parse_message = "field '" + member.first +
+                          "' is not accepted by op '" + op_name(req.op) + "'";
       return req;
     }
-    req.k_hop = static_cast<int>(v);
-  }
-  if (const Json* m = doc.find("max_cone_gates")) {
-    const double v = m->as_number(0.0);
-    if (!m->is_number() || v != std::floor(v) || v < 1) {
+    if (!spec->apply(member.second, &req)) {
       req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'max_cone_gates' must be an integer >= 1";
+      req.parse_message = spec->type_msg;
       return req;
     }
-    req.max_cone_gates = static_cast<std::size_t>(m->as_int());
   }
-  if (const Json* t = doc.find("task")) {
-    if (!t->is_string()) {
+  for (const RequiredSpec& required : kRequiredSpecs) {
+    if ((required.ops & bit) != 0 && required.missing(req)) {
       req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'task' must be a string";
+      req.parse_message = std::string("op '") + op_name(req.op) +
+                          "' requires field '" + required.name + "'";
       return req;
     }
-    req.task = t->as_string();
-  }
-  if (const Json* p = doc.find("model_prefix")) {
-    if (!p->is_string() || p->as_string().empty()) {
-      req.parse_error = ErrorCode::kBadRequest;
-      req.parse_message = "'model_prefix' must be a non-empty string";
-      return req;
-    }
-    req.model_prefix = p->as_string();
-  }
-  if (needs_netlist(req.op) && req.netlist_text.empty()) {
-    req.parse_error = ErrorCode::kBadRequest;
-    req.parse_message =
-        std::string("op '") + op_name(req.op) + "' requires field 'netlist'";
-    return req;
-  }
-  if (req.op == Op::kPredict && req.task.empty()) {
-    req.parse_error = ErrorCode::kBadRequest;
-    req.parse_message = "op 'predict' requires field 'task'";
-    return req;
   }
   return req;
 }

@@ -1,15 +1,41 @@
-// NetTAG-Serve wire protocol: newline-delimited JSON requests/responses
-// (docs/ARCHITECTURE.md §7.1 gives the grammar).
+// NetTAG-Serve wire protocol v2: newline-delimited JSON requests/responses
+// (docs/ARCHITECTURE.md §7.1 gives the grammar, §12 the replica registry).
 //
 // Request line:
 //   {"id":"r1","op":"embed_gates","netlist":"module m ...\n...endmodule\n",
-//    "k_hop":2,"max_cone_gates":120,"task":"task2"}
+//    "k_hop":2,"max_cone_gates":120,"model":"default","task":"task2"}
 //
-//   op ∈ ping | stats | shutdown | reload | embed_gates | embed_cone
-//        | embed_circuit | predict. `netlist` carries the structural format
-//   of netlist/io.hpp inside one JSON string; `k_hop` (0 = model default),
-//   `max_cone_gates` (embed_circuit cone cap), `task` (predict head name)
-//   and `model_prefix` (reload checkpoint override) are optional.
+//   op ∈ ping | stats | shutdown | reload | model_load | model_unload
+//        | model_list | embed_gates | embed_cone | embed_circuit | predict.
+//
+//   Fields (all optional unless an op requires them; every field is typed
+//   and op-scoped by the kFieldSpecs table in protocol.cpp, and an unknown
+//   field on a known op is rejected as bad_request naming the field):
+//     id             any op        echoed back verbatim
+//     netlist        netlist ops*  netlist/io.hpp structural format in one
+//                                  JSON string (required)
+//     k_hop          netlist ops   expression depth, integer in [0,16]
+//                                  (0 = model default)
+//     max_cone_gates netlist ops   embed_circuit cone cap, integer >= 1
+//                                  (absent = server default, see `stats`
+//                                  "defaults" and ServerConfig)
+//     task           predict       registered head name (required)
+//     model          netlist ops, reload, model_load, model_unload —
+//                                  target replica name; absent = "default".
+//                                  Unknown names answer `unknown_model`.
+//     model_prefix   reload, model_load — checkpoint prefix (required for
+//                                  model_load; reload falls back to the
+//                                  replica's own startup/load prefix)
+//     quantize       model_load    bool: serve the replica on the int8
+//                                  packed-weight path (absent = the
+//                                  process-wide --quantize default)
+//   (*netlist ops = embed_gates | embed_cone | embed_circuit | predict)
+//
+//   Admin ops: `model_load` registers/replaces a named replica from a
+//   checkpoint prefix, `model_unload` removes one (in-flight and queued
+//   requests for it answer `unknown_model`), `model_list` reports every
+//   replica. `reload` hot-swaps one replica (absent `model` = "default") —
+//   a v1 line without `model` behaves exactly as the v1 single-model server.
 //
 // Response line (ok):
 //   {"id":"r1","op":"embed_gates","status":"ok","cached":false,"result":{...}}
@@ -20,6 +46,8 @@
 // Embedding results are *name-free* (matrices only): the result cache is
 // content-addressed over the canonical structural hash, so an isomorphic
 // resubmission under different instance names replays the identical bytes.
+// Each replica's cache keys carry its name and weights CRC, so replicas
+// never replay each other's results.
 #pragma once
 
 #include <chrono>
@@ -41,7 +69,10 @@ enum class Op {
   kPing,
   kStats,
   kShutdown,
-  kReload,  ///< hot-swap the model from a checkpoint prefix, no downtime
+  kReload,       ///< hot-swap one replica from a checkpoint prefix, no downtime
+  kModelLoad,    ///< register (or replace) a named replica from a checkpoint
+  kModelUnload,  ///< remove a named replica; its requests answer unknown_model
+  kModelList,    ///< list the registered replicas
   kEmbedGates,
   kEmbedCone,
   kEmbedCircuit,
@@ -49,6 +80,17 @@ enum class Op {
 };
 
 const char* op_name(Op op);
+
+/// True for the ops that carry a netlist and run model work (embed_gates /
+/// embed_cone / embed_circuit / predict). These are the sheddable ops: the
+/// daemon's shards may answer them `too_busy` under load, and they route by
+/// structural hash for cache affinity (src/net/shard.cpp).
+bool is_netlist_op(Op op);
+
+/// True for the observability/admin ops (ping, stats, shutdown, reload and
+/// the model_* family). Control ops are never shed — an operator must always
+/// be able to observe, reconfigure, and drain a saturated daemon.
+bool is_control_op(Op op);
 
 /// Structured error taxonomy (docs/ARCHITECTURE.md §7.3). Every failure is a
 /// per-request status — the daemon itself never exits nonzero on bad input.
@@ -60,21 +102,34 @@ enum class ErrorCode {
   kTooLarge,      ///< netlist exceeds the admission gate size bound
   kLintRejected,  ///< src/analysis admission gate found errors
   kUnknownTask,   ///< predict against an unregistered task head
-  kReloadFailed,  ///< reload checkpoint missing/corrupt; old model kept
+  kUnknownModel,  ///< request named a replica the registry does not hold
+  kReloadFailed,  ///< reload/model_load checkpoint missing/corrupt; no swap
   kTooBusy,       ///< shard queue full — load shed, retry later (src/net)
   kInternal,      ///< unexpected exception (bug) — reported, not fatal
 };
 
 const char* error_code_name(ErrorCode code);
 
+/// The one authoritative default for the embed_circuit cone cap. Request
+/// carries 0 for "absent" and the server resolves it against its config
+/// (which defaults to this constant) — the value used to be hardcoded in
+/// two places and they could drift.
+inline constexpr std::size_t kDefaultMaxConeGates = 120;
+
+/// The replica every v1 request (no "model" field) targets.
+inline constexpr const char* kDefaultModelName = "default";
+
 struct Request {
   std::string id;
   Op op = Op::kInvalid;
-  std::string netlist_text;         ///< netlist/io.hpp structural format
-  int k_hop = 0;                    ///< 0 = model default
-  std::size_t max_cone_gates = 120; ///< embed_circuit cone cap
-  std::string task;                 ///< predict: registered head name
-  std::string model_prefix;         ///< reload: checkpoint prefix override
+  std::string netlist_text;        ///< netlist/io.hpp structural format
+  int k_hop = 0;                   ///< 0 = model default
+  std::size_t max_cone_gates = 0;  ///< embed_circuit cone cap; 0 = server
+                                   ///< default (ServerConfig::max_cone_gates)
+  std::string task;                ///< predict: registered head name
+  std::string model;               ///< target replica; "" = kDefaultModelName
+  std::string model_prefix;        ///< reload/model_load: checkpoint prefix
+  int quantize = -1;               ///< model_load: -1 absent, else 0/1
   /// Filled by parse_request when the line itself is bad; process() echoes
   /// these back instead of doing work.
   ErrorCode parse_error = ErrorCode::kNone;

@@ -4,9 +4,7 @@
 #include <utility>
 
 #include "analysis/diagnostic.hpp"
-#include "netlist/io.hpp"
 #include "nn/gemm.hpp"
-#include "nn/packed.hpp"
 #include "nn/tape.hpp"
 #include "serve/canonical.hpp"
 #include "util/checksum.hpp"
@@ -33,29 +31,77 @@ Json cache_stats_json(const ResultCache::Stats& s) {
   return j;
 }
 
+const char* backend_name(bool quantize) { return quantize ? "int8" : "fp32"; }
+
+Json replica_info_json(const ReplicaInfo& info) {
+  Json j = Json::object();
+  j.set("name", info.name);
+  j.set("prefix", info.prefix);
+  j.set("weights_crc32", crc32_hex(info.params_crc));
+  j.set("backend", backend_name(info.quantize));
+  j.set("reloads", static_cast<double>(info.reloads));
+  j.set("requests", static_cast<double>(info.requests));
+  j.set("cache_hits", static_cast<double>(info.cache_hits));
+  j.set("cache_misses", static_cast<double>(info.cache_misses));
+  return j;
+}
+
+/// The replica a request targets: absent "model" = the v1 default.
+const std::string& replica_name(const Request& request) {
+  static const std::string kDefault = kDefaultModelName;
+  return request.model.empty() ? kDefault : request.model;
+}
+
+Response unknown_model_response(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.op = request.op;
+  response.error = ErrorCode::kUnknownModel;
+  response.error_message =
+      "no model loaded under '" + replica_name(request) + "'";
+  return response;
+}
+
 }  // namespace
 
-Server::Server(ServerConfig config, std::unique_ptr<NetTag> model)
-    : config_(config), cache_(config.cache_entries) {
-  gen_.model = std::move(model);
-  gen_.params_crc = params_fingerprint(*gen_.model);
-  // Packing happens after the fingerprint (it hashes fp32 values only, but
-  // the ordering makes the independence obvious).
-  if (config_.quantize) pack_model_weights(*gen_.model);
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      admission_(AdmissionConfig{config_.max_gates, config_.reject_warnings,
+                                 config_.lint},
+                 &metrics_),
+      cache_(config_.cache_entries) {
+  registry_.set_cache_layout(config_.text_cache_entries,
+                             config_.text_cache_partitions);
   batcher_ = std::make_unique<Batcher>(
       [this](const Request& request) { return process(request); },
       config_.max_batch,
       [this](std::size_t size) { metrics_.record_batch(size); });
 }
 
-Server::~Server() = default;
-
-Server::ModelGen Server::snapshot() const {
-  std::lock_guard<std::mutex> lk(model_mu_);
-  return gen_;
+Server::Server(ServerConfig config, std::unique_ptr<NetTag> model)
+    : Server(std::move(config)) {
+  registry_.add(kDefaultModelName, std::move(model), config_.model_prefix,
+                config_.quantize);
 }
 
-const NetTag& Server::model() const { return *snapshot().model; }
+Server::~Server() = default;
+
+std::shared_ptr<const NetTag> Server::model_snapshot(
+    const std::string& name) const {
+  ReplicaSnapshot snap;
+  if (!registry_.snapshot(name, &snap)) return nullptr;
+  return snap.model;
+}
+
+bool Server::load_model(const std::string& name, const std::string& prefix,
+                        int quantize, std::string* error) {
+  const bool q = quantize < 0 ? config_.quantize : quantize != 0;
+  return registry_.load(name, prefix, q, error);
+}
+
+bool Server::unload_model(const std::string& name) {
+  return registry_.unload(name);
+}
 
 void Server::register_task(const std::string& name, TaskFn fn) {
   std::lock_guard<std::mutex> lk(tasks_mu_);
@@ -89,23 +135,31 @@ void Server::set_stats_extension(StatsExtension fn) {
 }
 
 std::string Server::stats_json() const {
-  const ModelGen gen = snapshot();
   Json j = snapshot_to_json(metrics_.snapshot());
   j.set("result_cache", cache_stats_json(cache_.stats()));
-  j.set("reloads", static_cast<double>(reloads_.load(std::memory_order_relaxed)));
-  j.set("weights_crc32", crc32_hex(gen.params_crc));
-  j.set("backend", config_.quantize ? "int8" : "fp32");
+  j.set("reloads", static_cast<double>(registry_.total_reloads()));
+  // The v1 top-level fields reflect the "default" replica (byte-compatible
+  // with the single-model server); the "models" array covers every replica.
+  ReplicaSnapshot def;
+  if (registry_.snapshot(kDefaultModelName, &def)) {
+    j.set("weights_crc32", crc32_hex(def.params_crc));
+    j.set("backend", backend_name(def.quantize));
+  }
   j.set("simd", simd_backend_name());
-  const TextEmbeddingCache& tc = gen.model->text_cache();
-  Json text = Json::object();
-  text.set("entries", static_cast<double>(tc.size()));
-  text.set("capacity", static_cast<double>(tc.capacity()));
-  text.set("hits", static_cast<double>(tc.hits()));
-  text.set("misses", static_cast<double>(tc.misses()));
-  text.set("evictions", static_cast<double>(tc.evictions()));
-  const double total = static_cast<double>(tc.hits() + tc.misses());
-  text.set("hit_rate", total > 0 ? static_cast<double>(tc.hits()) / total : 0.0);
-  j.set("text_cache", std::move(text));
+  const std::shared_ptr<TextEmbeddingCache> tc_ptr = registry_.text_cache();
+  if (tc_ptr) {
+    const TextEmbeddingCache& tc = *tc_ptr;
+    Json text = Json::object();
+    text.set("entries", static_cast<double>(tc.size()));
+    text.set("capacity", static_cast<double>(tc.capacity()));
+    text.set("hits", static_cast<double>(tc.hits()));
+    text.set("misses", static_cast<double>(tc.misses()));
+    text.set("evictions", static_cast<double>(tc.evictions()));
+    const double total = static_cast<double>(tc.hits() + tc.misses());
+    text.set("hit_rate",
+             total > 0 ? static_cast<double>(tc.hits()) / total : 0.0);
+    j.set("text_cache", std::move(text));
+  }
   const plan::Stats ps = plan::stats_snapshot();
   Json mp = Json::object();
   mp.set("enabled", ps.enabled);
@@ -120,6 +174,20 @@ std::string Server::stats_json() const {
   mp.set("heap_mat_allocs", static_cast<double>(ps.heap_mat_allocs));
   mp.set("slab_bytes", static_cast<double>(ps.slab_bytes));
   j.set("memory_plan", std::move(mp));
+  Json models = Json::array();
+  for (const ReplicaInfo& info : registry_.list()) {
+    models.push_back(replica_info_json(info));
+  }
+  j.set("models", std::move(models));
+  // Effective request defaults, so clients can see what an absent field
+  // resolves to without reading the server's flags.
+  Json defaults = Json::object();
+  defaults.set("max_gates", static_cast<double>(config_.max_gates));
+  defaults.set("max_cone_gates", static_cast<double>(config_.max_cone_gates));
+  defaults.set("max_batch", static_cast<double>(config_.max_batch));
+  defaults.set("reject_warnings", config_.reject_warnings);
+  defaults.set("quantize", config_.quantize);
+  j.set("defaults", std::move(defaults));
   {
     std::lock_guard<std::mutex> lk(stats_ext_mu_);
     if (stats_ext_) stats_ext_(&j);
@@ -162,9 +230,25 @@ Response Server::process_on(const Request& request, ResultCache* cache) {
     case Op::kReload:
       response = process_reload(request);
       break;
-    default:
-      response = process_netlist_op(request, cache ? cache : &cache_);
+    case Op::kModelLoad:
+    case Op::kModelUnload:
+    case Op::kModelList:
+      response = process_model_admin(request);
       break;
+    default: {
+      // Pin this request to one replica generation: a concurrent reload or
+      // unload swaps the registry's state but never the model in-flight
+      // work computes with. Resolution happens here — at processing time —
+      // so a model_unload ahead of queued requests drains them with
+      // unknown_model instead of crashing into a dangling replica.
+      ReplicaSnapshot replica;
+      if (!registry_.snapshot(replica_name(request), &replica)) {
+        response = unknown_model_response(request);
+        break;
+      }
+      response = process_netlist_op(request, replica, cache ? cache : &cache_);
+      break;
+    }
   }
   metrics_.record_request(response.ok(), seconds_since(request.t_start));
   return response;
@@ -174,113 +258,82 @@ Response Server::process_reload(const Request& request) {
   Response response;
   response.id = request.id;
   response.op = request.op;
-  const std::string prefix =
-      request.model_prefix.empty() ? config_.model_prefix : request.model_prefix;
-  if (prefix.empty()) {
-    response.error = ErrorCode::kBadRequest;
-    response.error_message =
-        "reload needs 'model_prefix' (server has no configured default)";
+  const ReloadOutcome outcome =
+      registry_.reload(replica_name(request), request.model_prefix);
+  if (!outcome.ok) {
+    response.error = outcome.error;
+    response.error_message = outcome.message;
     return response;
   }
-  // One reload at a time; the (slow) checkpoint load happens outside
-  // model_mu_, so concurrent requests keep serving the old generation and
-  // only the pointer swap itself synchronizes with them.
-  std::lock_guard<std::mutex> reload_lk(reload_mu_);
-  try {
-    std::shared_ptr<NetTag> fresh = load_checkpoint(prefix);
-    {
-      // Text-cache capacity and stripe count are serving configuration
-      // (--text-cache-entries, daemon shard count), not checkpoint state —
-      // carry them onto the fresh model so a hot reload keeps the tuned
-      // layout instead of silently reverting to defaults.
-      std::lock_guard<std::mutex> lk(model_mu_);
-      fresh->text_cache().set_capacity(gen_.model->text_cache().capacity());
-      fresh->text_cache().set_partitions(
-          gen_.model->text_cache().partitions());
-    }
-    const std::uint32_t crc = params_fingerprint(*fresh);
-    if (config_.quantize) pack_model_weights(*fresh);
-    bool changed;
-    {
-      std::lock_guard<std::mutex> lk(model_mu_);
-      changed = crc != gen_.params_crc;
-      prev_model_ = std::move(gen_.model);
-      gen_.model = std::move(fresh);
-      gen_.params_crc = crc;
-    }
-    reloads_.fetch_add(1, std::memory_order_relaxed);
-    response.result_json = "{\"reloaded\":true,\"prefix\":\"" +
-                           json_escape(prefix) +
-                           "\",\"params_changed\":" + (changed ? "true" : "false") +
-                           ",\"weights_crc32\":\"" + crc32_hex(crc) + "\"}";
-  } catch (const std::exception& e) {
-    response.error = ErrorCode::kReloadFailed;
-    response.error_message = e.what();
-  }
+  response.result_json =
+      "{\"reloaded\":true,\"prefix\":\"" + json_escape(outcome.prefix) +
+      "\",\"params_changed\":" + (outcome.params_changed ? "true" : "false") +
+      ",\"weights_crc32\":\"" + crc32_hex(outcome.params_crc) + "\"}";
   return response;
 }
 
+Response Server::process_model_admin(const Request& request) {
+  Response response;
+  response.id = request.id;
+  response.op = request.op;
+  switch (request.op) {
+    case Op::kModelLoad: {
+      const bool replaced = registry_.has(request.model);
+      std::string error;
+      if (!load_model(request.model, request.model_prefix, request.quantize,
+                      &error)) {
+        response.error = ErrorCode::kReloadFailed;
+        response.error_message = error;
+        return response;
+      }
+      ReplicaSnapshot snap;
+      registry_.snapshot(request.model, &snap);
+      response.result_json =
+          "{\"loaded\":true,\"model\":\"" + json_escape(request.model) +
+          "\",\"prefix\":\"" + json_escape(request.model_prefix) +
+          "\",\"weights_crc32\":\"" + crc32_hex(snap.params_crc) +
+          "\",\"backend\":\"" + backend_name(snap.quantize) +
+          "\",\"replaced\":" + (replaced ? "true" : "false") + "}";
+      return response;
+    }
+    case Op::kModelUnload: {
+      if (!registry_.unload(request.model)) {
+        return unknown_model_response(request);
+      }
+      response.result_json = "{\"unloaded\":true,\"model\":\"" +
+                             json_escape(request.model) + "\"}";
+      return response;
+    }
+    case Op::kModelList:
+    default: {
+      std::string out = "{\"models\":[";
+      bool first = true;
+      for (const ReplicaInfo& info : registry_.list()) {
+        if (!first) out += ',';
+        first = false;
+        out += replica_info_json(info).dump();
+      }
+      out += "]}";
+      response.result_json = std::move(out);
+      return response;
+    }
+  }
+}
+
 Response Server::process_netlist_op(const Request& request,
+                                    const ReplicaSnapshot& replica,
                                     ResultCache* cache) {
   Response response;
   response.id = request.id;
   response.op = request.op;
-  // Pin this request to one model generation: a concurrent reload swaps the
-  // server's generation but never the one in-flight work computes with.
-  const ModelGen gen = snapshot();
-  const NetTag& model = *gen.model;
+  const NetTag& model = *replica.model;
+  replica.counters->requests.fetch_add(1, std::memory_order_relaxed);
 
-  // Stage 1: parse the structural netlist text — unless the daemon's router
-  // already did (it parses once to compute the shard route hash and passes
-  // the structure along; the router records the parse stage time itself).
-  Timer t;
+  // Stages 1+2: parse, size bound, lint gate (serve/admission.hpp).
   Netlist local_nl;
-  const Netlist* nl_ptr = request.pre_parsed.get();
-  if (nl_ptr == nullptr) {
-    try {
-      local_nl = netlist_from_string(request.netlist_text);
-    } catch (const std::exception& e) {
-      metrics_.record_stage(Stage::kParse, t.seconds());
-      response.error = ErrorCode::kParseError;
-      response.error_message = e.what();
-      return response;
-    }
-    metrics_.record_stage(Stage::kParse, t.seconds());
-    nl_ptr = &local_nl;
-  }
+  const Netlist* nl_ptr = admission_.admit(request, &local_nl, &response);
+  if (nl_ptr == nullptr) return response;
   const Netlist& nl = *nl_ptr;
-
-  // Stage 2: admission gate — size bound, then src/analysis lint.
-  if (nl.size() > config_.max_gates) {
-    response.error = ErrorCode::kTooLarge;
-    response.error_message =
-        "netlist has " + std::to_string(nl.size()) + " gates, limit is " +
-        std::to_string(config_.max_gates);
-    return response;
-  }
-  t.reset();
-  const LintReport lint = lint_netlist(nl, config_.lint);
-  metrics_.record_stage(Stage::kLint, t.seconds());
-  const bool rejected =
-      lint.has_errors() ||
-      (config_.reject_warnings && lint.count(Severity::kWarning) > 0);
-  if (rejected) {
-    response.error = ErrorCode::kLintRejected;
-    response.error_message =
-        "admission lint found " + std::to_string(lint.count(Severity::kError)) +
-        " error(s), " + std::to_string(lint.count(Severity::kWarning)) +
-        " warning(s)" + (config_.reject_warnings ? " (strict mode)" : "");
-    for (const Diagnostic& d : lint.diagnostics()) {
-      if (response.detail.size() >= 8) {
-        response.detail.push_back("... (" +
-                                  std::to_string(lint.size() - 8) + " more)");
-        break;
-      }
-      response.detail.push_back(std::string(severity_name(d.severity)) + " [" +
-                                d.rule + "] " + d.object + ": " + d.message);
-    }
-    return response;
-  }
 
   // Predict needs a registered head; resolve before touching the cache so an
   // unknown task never occupies an entry.
@@ -297,28 +350,34 @@ Response Server::process_netlist_op(const Request& request,
     task_fn = it->second;
   }
 
+  // An absent max_cone_gates resolves to the server default here — before
+  // the cache key and the model call — so explicit-120 and absent requests
+  // share one entry under the default config.
+  const std::size_t max_cone_gates = request.max_cone_gates != 0
+                                         ? request.max_cone_gates
+                                         : config_.max_cone_gates;
+
   // Stage 3: content-addressed cache. embed_gates returns one row per gate
   // in declaration order, so its key and fingerprint are declaration-order
   // sensitive — a reordered isomorphic netlist recomputes instead of
-  // receiving rows assigned to the wrong gates. The weights CRC of the
-  // pinned model generation is part of the key: a hot reload with new
-  // weights strands the old entries instead of replaying them, while a
-  // reload of identical weights keeps every entry live.
+  // receiving rows assigned to the wrong gates. The pinned replica's name,
+  // weights CRC, and numeric backend join the key (ReplicaSnapshot::
+  // cache_tag): a hot reload with new weights strands the old entries
+  // instead of replaying them, a reload of identical weights keeps every
+  // entry live, and no replica can answer for another.
   CacheKey key =
-      cache_key(nl, op_name(request.op), request.k_hop,
-                request.max_cone_gates, request.task,
+      cache_key(nl, op_name(request.op), request.k_hop, max_cone_gates,
+                request.task,
                 /*per_node_output=*/request.op == Op::kEmbedGates);
-  key.key += "|w";
-  key.key += crc32_hex(gen.params_crc);
-  // Numeric backend joins the key too: int8 and fp32 results differ, so a
-  // cache filled by one backend must never answer for the other.
-  key.key += config_.quantize ? "|int8" : "|fp32";
+  key.key += replica.cache_tag();
   std::string payload;
   if (cache->lookup(key.key, key.fingerprint, &payload)) {
+    replica.counters->cache_hits.fetch_add(1, std::memory_order_relaxed);
     response.result_json = std::move(payload);
     response.cached = true;
     return response;
   }
+  replica.counters->cache_misses.fetch_add(1, std::memory_order_relaxed);
 
   // Stage 4: model work, with per-stage timing fed back into metrics.
   EmbedTiming timing;
@@ -337,8 +396,7 @@ Response Server::process_netlist_op(const Request& request,
       break;
     }
     case Op::kEmbedCircuit: {
-      const Mat circuit =
-          model.embed_circuit(nl, request.max_cone_gates, &timing);
+      const Mat circuit = model.embed_circuit(nl, max_cone_gates, &timing);
       payload = "{\"dim\":" + std::to_string(model.embedding_dim()) +
                 ",\"registers\":" + std::to_string(nl.registers().size()) +
                 ",\"circuit\":" + mat_to_json(circuit) + "}";

@@ -1,14 +1,20 @@
-// NetTAG-Serve: the inference server (docs/ARCHITECTURE.md §7).
+// NetTAG-Serve: the inference server (docs/ARCHITECTURE.md §7, §12).
 //
-// Owns one shared pre-trained NetTag model and answers embedding / task
-// prediction requests through three coordinated pieces:
-//   * admission — parse + size bound + src/analysis lint gate; rejected
-//     inputs become structured error responses, never crashes;
+// Dispatches requests over a registry of named NetTag replicas through four
+// coordinated pieces:
+//   * registry  — N independently hot-reloadable models behind one process
+//     (serve/registry.hpp); every request pins a replica snapshot, so
+//     reload/unload of one replica never stalls another's traffic;
+//   * admission — parse + size bound + src/analysis lint gate
+//     (serve/admission.hpp); rejected inputs become structured error
+//     responses, never crashes;
 //   * batching  — concurrent requests group into one thread-pool region
 //     (serve/batcher.hpp);
 //   * caching   — a bounded content-addressed result cache keyed by the
-//     canonical structural hash (serve/canonical.hpp), so isomorphic
-//     resubmissions replay byte-identical results without model work.
+//     canonical structural hash (serve/canonical.hpp) namespaced per
+//     replica+weights+backend, so isomorphic resubmissions replay
+//     byte-identical results without model work and replicas never replay
+//     each other's entries.
 //
 // The same object backs both transports: the in-process C++ client API
 // (submit / submit_async, used by tests and benches) and the NDJSON
@@ -28,10 +34,12 @@
 
 #include "analysis/lint.hpp"
 #include "core/nettag.hpp"
+#include "serve/admission.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
+#include "serve/registry.hpp"
 
 namespace nettag::serve {
 
@@ -46,31 +54,65 @@ struct ServerConfig {
   bool reject_warnings = false;
   /// Admission lint options (rule toggles, fanout bound).
   LintOptions lint;
+  /// Effective default for requests that carry no `max_cone_gates` of their
+  /// own (the embed_circuit cone cap). Echoed in `stats` under "defaults".
+  std::size_t max_cone_gates = kDefaultMaxConeGates;
+  /// Shared text-embedding cache layout, applied when the first replica
+  /// donates its cache to the registry: capacity in entries (0 = keep the
+  /// model's own, typically the checkpoint default) and stripe count (0 =
+  /// keep; the daemon passes its shard count so workers don't serialize on
+  /// one cache mutex). Reload/model_load attach later models to the same
+  /// cache, so the layout survives every swap.
+  std::size_t text_cache_entries = 0;
+  std::size_t text_cache_partitions = 0;
   /// Default checkpoint prefix for `reload` requests that carry no
   /// `model_prefix` of their own (typically the prefix the server was
-  /// started from). Empty: such requests are rejected.
+  /// started from); it becomes the "default" replica's stored prefix.
+  /// Empty: such requests are rejected.
   std::string model_prefix;
-  /// Serve the int8 packed-weight path (nn/packed.hpp): weight matrices are
-  /// repacked at construction and after every reload, and matmul forwards
-  /// run int8 dot products instead of fp32. The fp32 weights (and the
-  /// weights CRC) are untouched; `stats` reports the active backend and the
-  /// result-cache key separates int8 results from fp32 ones.
+  /// Serve the int8 packed-weight path (nn/packed.hpp) for the "default"
+  /// replica, and for every `model_load` that carries no `quantize` of its
+  /// own: weight matrices are repacked at load and after every reload, and
+  /// matmul forwards run int8 dot products instead of fp32. The fp32
+  /// weights (and the weights CRC) are untouched; `stats` reports each
+  /// replica's backend and the result-cache key separates int8 results
+  /// from fp32 ones.
   bool quantize = false;
 };
 
 class Server {
  public:
-  /// Takes ownership of a constructed (typically checkpoint-loaded) model.
+  /// Starts with an empty registry — replicas arrive via load_model /
+  /// `model_load` (tools/nettag_serve builds its servers this way, one
+  /// load_model per --model flag). Netlist requests before the first load
+  /// answer unknown_model; control ops work immediately.
+  explicit Server(ServerConfig config);
+  /// Takes ownership of a constructed (typically checkpoint-loaded) model,
+  /// registered as the "default" replica (the one every v1 request targets)
+  /// with config.model_prefix as its reload target and config.quantize as
+  /// its backend.
   Server(ServerConfig config, std::unique_ptr<NetTag> model);
   ~Server();
 
-  /// Current model. The reference stays valid until the *next* reload
-  /// completes (the server retains the swapped-out model until then), so
-  /// transient use is safe; don't hold it across reloads.
-  const NetTag& model() const;
+  /// Owning snapshot of one replica's current model (null: no replica under
+  /// that name). Safe to hold across reloads/unloads — the snapshot keeps
+  /// serving the generation it pinned; drop it to release the weights.
+  std::shared_ptr<const NetTag> model_snapshot(
+      const std::string& name = kDefaultModelName) const;
+
+  /// Registers (or replaces) a named replica from a checkpoint prefix — the
+  /// startup-time twin of the `model_load` op (tools/nettag_serve wires
+  /// repeated --model flags through this). `quantize` < 0 inherits the
+  /// config default. False with *error set on a bad checkpoint.
+  bool load_model(const std::string& name, const std::string& prefix,
+                  int quantize, std::string* error);
+  /// Removes a named replica; later requests for it answer unknown_model.
+  bool unload_model(const std::string& name);
+
+  const ModelRegistry& registry() const { return registry_; }
   const ServerConfig& config() const { return config_; }
-  /// Number of successful `reload` ops since startup.
-  std::uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+  /// Number of successful `reload` ops since startup (all replicas).
+  std::uint64_t reloads() const { return registry_.total_reloads(); }
 
   /// Fine-tuned task head hook: `fn` maps (shared model, admitted netlist)
   /// to a score vector. Registered heads answer `predict` requests; results
@@ -121,34 +163,24 @@ class Server {
   Batcher& batcher() { return *batcher_; }
 
  private:
-  /// One model generation: the shared instance plus the CRC-32 of its
-  /// parameters. The CRC is folded into every result-cache key, so entries
-  /// computed by one set of weights can never answer for another — a reload
-  /// that lands the *same* weights keeps every cache entry valid, while new
-  /// weights make the old entries unreachable (they age out via LRU).
-  struct ModelGen {
-    std::shared_ptr<NetTag> model;
-    std::uint32_t params_crc = 0;
-  };
-  ModelGen snapshot() const;
-
-  /// Per-request handler: admission, cache, model work. Runs on pool
-  /// workers; everything it touches is internally synchronized.
+  /// Per-request handler: replica resolution, admission, cache, model work.
+  /// Runs on pool workers; everything it touches is internally synchronized.
   Response process(const Request& request);
-  Response process_netlist_op(const Request& request, ResultCache* cache);
+  /// The model-work stage against an explicit replica snapshot — the
+  /// snapshot's weights CRC + backend namespace the cache keys, so entries
+  /// computed by one replica (or one weight generation) can never answer
+  /// for another; a reload that lands the *same* weights keeps every entry
+  /// valid, while new weights strand the old ones (they age out via LRU).
+  Response process_netlist_op(const Request& request,
+                              const ReplicaSnapshot& replica,
+                              ResultCache* cache);
   Response process_reload(const Request& request);
+  Response process_model_admin(const Request& request);
 
   ServerConfig config_;
-  /// Guards the generation swap only; requests work on their own snapshot,
-  /// so a reload never blocks or invalidates in-flight work.
-  mutable std::mutex model_mu_;
-  ModelGen gen_;
-  /// Previous generation, kept so references from model() survive one swap.
-  std::shared_ptr<NetTag> prev_model_;
-  /// Serializes whole reload operations (checkpoint load outside model_mu_).
-  std::mutex reload_mu_;
-  std::atomic<std::uint64_t> reloads_{0};
+  ModelRegistry registry_;
   ServeMetrics metrics_;
+  Admission admission_;
   ResultCache cache_;
 
   mutable std::mutex tasks_mu_;

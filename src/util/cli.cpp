@@ -105,6 +105,69 @@ bool parse_listen_address(const char* text, ListenAddress* out,
   return true;
 }
 
+namespace {
+
+bool is_model_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         is_ascii_digit(c) || c == '_' || c == '.' || c == '-';
+}
+
+bool is_model_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    if (!is_model_name_char(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_model_spec(const char* text, ModelSpec* out, std::string* error) {
+  std::string spec(text ? text : "");
+  if (spec.empty()) {
+    *error = "expected '[NAME=]PREFIX[,quantize|,fp32]', got an empty value";
+    return false;
+  }
+  ModelSpec parsed;
+  // Backend suffix first (a literal match, so a prefix containing ',' in
+  // some other position is untouched).
+  const std::string kQuantize = ",quantize";
+  const std::string kFp32 = ",fp32";
+  if (spec.size() > kQuantize.size() &&
+      spec.compare(spec.size() - kQuantize.size(), kQuantize.size(),
+                   kQuantize) == 0) {
+    parsed.quantize = 1;
+    spec.erase(spec.size() - kQuantize.size());
+  } else if (spec.size() > kFp32.size() &&
+             spec.compare(spec.size() - kFp32.size(), kFp32.size(), kFp32) ==
+                 0) {
+    parsed.quantize = 0;
+    spec.erase(spec.size() - kFp32.size());
+  }
+  // NAME= applies only when the text before the first '=' looks like a
+  // replica name; otherwise the whole value is a plain checkpoint prefix
+  // (which may legitimately contain '=' in a path component).
+  const std::size_t eq = spec.find('=');
+  if (eq != std::string::npos) {
+    const std::string candidate = spec.substr(0, eq);
+    if (candidate.empty()) {
+      *error = "empty replica name in " + quoted(text);
+      return false;
+    }
+    if (is_model_name(candidate)) {
+      parsed.name = candidate;
+      spec.erase(0, eq + 1);
+    }
+  }
+  if (spec.empty()) {
+    *error = "empty checkpoint prefix in " + quoted(text);
+    return false;
+  }
+  parsed.prefix = std::move(spec);
+  *out = std::move(parsed);
+  return true;
+}
+
 bool parse_u64(const char* text, std::uint64_t* out, std::string* error) {
   // strtoull accepts "-1" (wrapping) and leading whitespace; require the
   // first character to be a digit (a hex value starts with the digit 0).

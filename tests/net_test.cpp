@@ -256,6 +256,40 @@ TEST(ShardPool, SaturatedQueueShedsWithTooBusy) {
   EXPECT_EQ(pool.pending(), 0u);
 }
 
+TEST(ShardPool, RouteComposesReplicaNameIntoTheHash) {
+  auto server = make_server();
+  ShardPool pool(*server, 8, 4, 64);
+
+  // Per replica the v1 properties hold: deterministic, name-invariant.
+  Request alpha = embed_request(kAndNetlist);
+  alpha.model = "alpha";
+  const std::size_t alpha_shard = pool.route(alpha);
+  EXPECT_EQ(pool.route(alpha), alpha_shard);
+  Request alpha_renamed = embed_request(kAndRenamed);
+  alpha_renamed.model = "alpha";
+  EXPECT_EQ(pool.route(alpha_renamed), alpha_shard);
+
+  // An absent model field routes exactly like the explicit default name, so
+  // v1 and spelled-out-v2 clients land on the same shard cache.
+  Request bare = embed_request(kAndNetlist);
+  Request spelled = embed_request(kAndNetlist);
+  spelled.model = "default";
+  EXPECT_EQ(pool.route(bare), pool.route(spelled));
+
+  // The replica name participates in placement: one netlist fanned across
+  // many replicas spreads over shards instead of hot-spotting one.
+  std::vector<std::size_t> shards;
+  for (const char* name : {"alpha", "beta", "gamma", "delta", "epsilon",
+                           "zeta", "eta", "theta"}) {
+    Request r = embed_request(kAndNetlist);
+    r.model = name;
+    shards.push_back(pool.route(r));
+  }
+  bool spread = false;
+  for (const std::size_t s : shards) spread = spread || s != shards[0];
+  EXPECT_TRUE(spread);
+}
+
 // --- daemon end-to-end ------------------------------------------------------
 
 std::string unique_sock_path(const char* tag) {

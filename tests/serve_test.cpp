@@ -892,5 +892,383 @@ TEST(Protocol, ReloadRequestParsing) {
   EXPECT_EQ(mistyped.parse_error, ErrorCode::kBadRequest);
 }
 
+// --- multi-replica registry (protocol v2) ------------------------------------
+
+Request model_request(const char* text, const std::string& model,
+                      Op op = Op::kEmbedGates) {
+  Request r = embed_request(text, op);
+  r.model = model;
+  return r;
+}
+
+TEST(Protocol, ModelFieldSelectsReplicaAndDefaultsWhenAbsent) {
+  const Request named = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m","model":"alt"})");
+  EXPECT_EQ(named.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(named.model, "alt");
+
+  // v1 line: no "model" field leaves the member empty (the server maps that
+  // to the "default" replica — nothing is rewritten at parse time).
+  const Request v1 = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m"})");
+  EXPECT_EQ(v1.parse_error, ErrorCode::kNone);
+  EXPECT_TRUE(v1.model.empty());
+
+  const Request empty = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m","model":""})");
+  EXPECT_EQ(empty.parse_error, ErrorCode::kBadRequest);
+  const Request mistyped = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m","model":7})");
+  EXPECT_EQ(mistyped.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(mistyped.parse_message, "'model' must be a non-empty string");
+}
+
+TEST(Protocol, UnknownOrMisplacedFieldsNameTheOffender) {
+  // A field the grammar has never heard of names itself in the error (a typo
+  // like "khop" must not silently run — and cache — a default-parameter run).
+  const Request unknown = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m","khop":3})");
+  EXPECT_EQ(unknown.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(unknown.parse_message, "unknown field 'khop' for op 'embed_gates'");
+
+  // A known field on the wrong op is a distinct diagnostic.
+  const Request misplaced =
+      serve::parse_request(R"({"op":"ping","netlist":"m"})");
+  EXPECT_EQ(misplaced.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(misplaced.parse_message,
+            "field 'netlist' is not accepted by op 'ping'");
+
+  // quantize belongs to model_load alone.
+  const Request q = serve::parse_request(
+      R"({"op":"embed_gates","netlist":"m","quantize":true})");
+  EXPECT_EQ(q.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(q.parse_message,
+            "field 'quantize' is not accepted by op 'embed_gates'");
+
+  // "id" and "op" are exempt from the table on every op.
+  const Request ok = serve::parse_request(R"({"id":"7","op":"ping"})");
+  EXPECT_EQ(ok.parse_error, ErrorCode::kNone);
+}
+
+TEST(Protocol, AdminOpFieldRequirements) {
+  const Request load = serve::parse_request(
+      R"({"op":"model_load","model":"a","model_prefix":"/tmp/ck","quantize":true})");
+  EXPECT_EQ(load.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(load.op, Op::kModelLoad);
+  EXPECT_EQ(load.model, "a");
+  EXPECT_EQ(load.model_prefix, "/tmp/ck");
+  EXPECT_EQ(load.quantize, 1);
+
+  // quantize is tri-state: absent stays -1 (inherit the server default).
+  const Request inherit = serve::parse_request(
+      R"({"op":"model_load","model":"a","model_prefix":"/tmp/ck"})");
+  EXPECT_EQ(inherit.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(inherit.quantize, -1);
+  const Request mistyped = serve::parse_request(
+      R"({"op":"model_load","model":"a","model_prefix":"/tmp/ck","quantize":1})");
+  EXPECT_EQ(mistyped.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(mistyped.parse_message, "'quantize' must be a boolean");
+
+  const Request no_prefix =
+      serve::parse_request(R"({"op":"model_load","model":"a"})");
+  EXPECT_EQ(no_prefix.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(no_prefix.parse_message,
+            "op 'model_load' requires field 'model_prefix'");
+  const Request no_model =
+      serve::parse_request(R"({"op":"model_unload"})");
+  EXPECT_EQ(no_model.parse_error, ErrorCode::kBadRequest);
+  EXPECT_EQ(no_model.parse_message, "op 'model_unload' requires field 'model'");
+
+  const Request list = serve::parse_request(R"({"op":"model_list"})");
+  EXPECT_EQ(list.parse_error, ErrorCode::kNone);
+  EXPECT_EQ(list.op, Op::kModelList);
+}
+
+TEST(Server, TwoReplicasServeIndependently) {
+  const std::string pa = save_tiny_checkpoint("/tmp/nettag_replica_a", 21);
+  const std::string pb = save_tiny_checkpoint("/tmp/nettag_replica_b", 3737);
+  Server server{ServerConfig{}};
+  std::string err;
+  ASSERT_TRUE(server.load_model("a", pa, -1, &err)) << err;
+  ASSERT_TRUE(server.load_model("b", pb, -1, &err)) << err;
+  EXPECT_EQ(server.registry().size(), 2u);
+  EXPECT_NE(server.model_snapshot("a"), nullptr);
+  EXPECT_EQ(server.model_snapshot("missing"), nullptr);
+
+  // Distinct weights → distinct bytes, and neither run replays the other's
+  // cache entry even though the netlist (and so the WL hash) is identical.
+  const Response ra = server.submit(model_request(kAndNetlist, "a"));
+  ASSERT_TRUE(ra.ok()) << ra.error_message;
+  EXPECT_FALSE(ra.cached);
+  const Response rb = server.submit(model_request(kAndNetlist, "b"));
+  ASSERT_TRUE(rb.ok()) << rb.error_message;
+  EXPECT_FALSE(rb.cached);
+  EXPECT_NE(ra.result_json, rb.result_json);
+
+  // Within one replica the isomorphic resubmission still replays.
+  const Response ra2 = server.submit(model_request(kAndRenamed, "a"));
+  ASSERT_TRUE(ra2.ok());
+  EXPECT_TRUE(ra2.cached);
+  EXPECT_EQ(ra2.result_json, ra.result_json);
+
+  remove_tiny_checkpoint(pa);
+  remove_tiny_checkpoint(pb);
+}
+
+TEST(Server, ReloadOneReplicaKeepsOtherReplicasCacheLive) {
+  const std::string pa = save_tiny_checkpoint("/tmp/nettag_iso_a", 21);
+  const std::string pa2 = save_tiny_checkpoint("/tmp/nettag_iso_a2", 5150);
+  const std::string pb = save_tiny_checkpoint("/tmp/nettag_iso_b", 3737);
+  Server server{ServerConfig{}};
+  std::string err;
+  ASSERT_TRUE(server.load_model("a", pa, -1, &err)) << err;
+  ASSERT_TRUE(server.load_model("b", pb, -1, &err)) << err;
+
+  const Response a1 = server.submit(model_request(kAndNetlist, "a"));
+  const Response b1 = server.submit(model_request(kAndNetlist, "b"));
+  ASSERT_TRUE(a1.ok() && b1.ok());
+
+  // Hot-swap replica "a" to different weights over the wire.
+  Request rl;
+  rl.op = Op::kReload;
+  rl.model = "a";
+  rl.model_prefix = pa2;
+  const Response rr = server.submit(std::move(rl));
+  ASSERT_TRUE(rr.ok()) << rr.error_message;
+  Json j;
+  ASSERT_TRUE(Json::parse(rr.result_json, &j, &err)) << err;
+  EXPECT_TRUE(j.find("params_changed")->as_bool());
+  EXPECT_EQ(server.reloads(), 1u);
+
+  // "b" was untouched: its cache entry replays byte-identically.
+  const Response b2 = server.submit(model_request(kAndRenamed, "b"));
+  ASSERT_TRUE(b2.ok());
+  EXPECT_TRUE(b2.cached);
+  EXPECT_EQ(b2.result_json, b1.result_json);
+
+  // "a" serves the new generation: recomputed, different bytes.
+  const Response a2 = server.submit(model_request(kAndNetlist, "a"));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(a2.cached);
+  EXPECT_NE(a2.result_json, a1.result_json);
+
+  remove_tiny_checkpoint(pa);
+  remove_tiny_checkpoint(pa2);
+  remove_tiny_checkpoint(pb);
+}
+
+TEST(Server, UnknownModelIsStructuredError) {
+  auto server = make_server();  // only the "default" replica
+  const Response r = server->submit(model_request(kAndNetlist, "nope"));
+  EXPECT_EQ(r.error, ErrorCode::kUnknownModel);
+  EXPECT_NE(r.error_message.find("nope"), std::string::npos);
+
+  Json j;
+  std::string err;
+  ASSERT_TRUE(Json::parse(
+      server->handle_line(
+          R"({"op":"embed_gates","netlist":"module m source synthetic\n)"
+          R"(port a\ngate INV g1 a out\nendmodule\n","model":"nope"})"),
+      &j, &err))
+      << err;
+  EXPECT_EQ(j.find("error")->find("code")->as_string(), "unknown_model");
+  // Reload of an unknown name takes the same taxonomy path.
+  Request rl;
+  rl.op = Op::kReload;
+  rl.model = "nope";
+  rl.model_prefix = "/tmp/whatever";
+  EXPECT_EQ(server->submit(std::move(rl)).error, ErrorCode::kUnknownModel);
+}
+
+TEST(Server, ModelAdminLifecycleOverTheWire) {
+  const std::string p = save_tiny_checkpoint("/tmp/nettag_admin_ck", 21);
+  Server server{ServerConfig{}};
+  Json j;
+  std::string err;
+
+  // Empty registry: listable, and netlist traffic answers unknown_model.
+  ASSERT_TRUE(Json::parse(server.handle_line(R"({"op":"model_list"})"), &j,
+                          &err))
+      << err;
+  EXPECT_EQ(j.find("result")->find("models")->items().size(), 0u);
+  EXPECT_EQ(server.submit(model_request(kAndNetlist, "a")).error,
+            ErrorCode::kUnknownModel);
+
+  ASSERT_TRUE(Json::parse(
+      server.handle_line(R"({"op":"model_load","model":"a","model_prefix":")" +
+                         p + R"("})"),
+      &j, &err))
+      << err;
+  ASSERT_EQ(j.find("status")->as_string(), "ok") << j.dump();
+  EXPECT_TRUE(j.find("result")->find("loaded")->as_bool());
+  EXPECT_FALSE(j.find("result")->find("replaced")->as_bool());
+  EXPECT_EQ(j.find("result")->find("backend")->as_string(), "fp32");
+  EXPECT_TRUE(server.submit(model_request(kAndNetlist, "a")).ok());
+
+  // Loading the same name again replaces in place.
+  ASSERT_TRUE(Json::parse(
+      server.handle_line(R"({"op":"model_load","model":"a","model_prefix":")" +
+                         p + R"("})"),
+      &j, &err))
+      << err;
+  EXPECT_TRUE(j.find("result")->find("replaced")->as_bool());
+
+  ASSERT_TRUE(Json::parse(server.handle_line(R"({"op":"model_list"})"), &j,
+                          &err))
+      << err;
+  const auto& rows = j.find("result")->find("models")->items();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].find("name")->as_string(), "a");
+  EXPECT_EQ(rows[0].find("prefix")->as_string(), p);
+
+  ASSERT_TRUE(Json::parse(
+      server.handle_line(R"({"op":"model_unload","model":"a"})"), &j, &err))
+      << err;
+  EXPECT_TRUE(j.find("result")->find("unloaded")->as_bool());
+  // Gone: unload again and serve both answer unknown_model.
+  ASSERT_TRUE(Json::parse(
+      server.handle_line(R"({"op":"model_unload","model":"a"})"), &j, &err))
+      << err;
+  EXPECT_EQ(j.find("error")->find("code")->as_string(), "unknown_model");
+  EXPECT_EQ(server.submit(model_request(kAndNetlist, "a")).error,
+            ErrorCode::kUnknownModel);
+  // A bad checkpoint path fails closed without registering anything.
+  ASSERT_TRUE(Json::parse(
+      server.handle_line(
+          R"({"op":"model_load","model":"x","model_prefix":"/tmp/no_such_ck"})"),
+      &j, &err))
+      << err;
+  EXPECT_EQ(j.find("status")->as_string(), "error");
+  EXPECT_EQ(server.registry().size(), 0u);
+  remove_tiny_checkpoint(p);
+}
+
+TEST(Server, ModelUnloadDrainsQueuedRequestsWithUnknownModel) {
+  const std::string p = save_tiny_checkpoint("/tmp/nettag_unload_ck", 21);
+  Server server{ServerConfig{}};
+  std::string err;
+  ASSERT_TRUE(server.load_model("a", p, -1, &err)) << err;
+
+  // Queue traffic for "a" behind a paused batcher, then unload the replica
+  // out from under it. The queued requests must drain as unknown_model —
+  // never crash into a dangling model pointer.
+  server.batcher().pause();
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(server.submit_async(model_request(kAndNetlist, "a")));
+  }
+  ASSERT_TRUE(server.unload_model("a"));
+  server.batcher().resume();
+  for (auto& f : queued) {
+    const Response r = f.get();
+    EXPECT_EQ(r.error, ErrorCode::kUnknownModel);
+    EXPECT_EQ(r.error_message, "no model loaded under 'a'");
+  }
+  // The server stays healthy afterwards.
+  Request ping;
+  ping.op = Op::kPing;
+  EXPECT_TRUE(server.submit(std::move(ping)).ok());
+  remove_tiny_checkpoint(p);
+}
+
+TEST(Server, PerReplicaQuantizeBackendsCoexist) {
+  const std::string p = save_tiny_checkpoint("/tmp/nettag_quant_pair", 21);
+  Server server{ServerConfig{}};  // process default: fp32
+  std::string err;
+  ASSERT_TRUE(server.load_model("f", p, 0, &err)) << err;
+  ASSERT_TRUE(server.load_model("q", p, 1, &err)) << err;
+
+  const Response fr = server.submit(model_request(kAndNetlist, "f"));
+  const Response qr = server.submit(model_request(kAndNetlist, "q"));
+  ASSERT_TRUE(fr.ok() && qr.ok());
+  // Same checkpoint, different numeric backends → different bytes, and the
+  // fp32 replica is bit-exact against the offline reference.
+  EXPECT_NE(fr.result_json, qr.result_json);
+  const NetTag offline(tiny_config(), 21);
+  const NetTag::ConeEmbedding ref =
+      offline.embed(netlist_from_string(kAndNetlist));
+  const Mat fcls = cls_of(fr);
+  ASSERT_EQ(fcls.v.size(), ref.cls.v.size());
+  for (std::size_t i = 0; i < ref.cls.v.size(); ++i) {
+    EXPECT_EQ(fcls.v[i], ref.cls.v[i]) << "cls lane " << i;
+  }
+  for (const serve::ReplicaInfo& info : server.registry().list()) {
+    EXPECT_EQ(info.quantize, info.name == "q") << info.name;
+  }
+  remove_tiny_checkpoint(p);
+}
+
+TEST(Server, V1LinesReplayByteIdenticalOnMultiModelServer) {
+  const std::string alt = save_tiny_checkpoint("/tmp/nettag_v1_alt", 3737);
+  auto v1 = make_server();  // plain single-model server, seed 21
+  auto v2 = make_server();  // same default replica...
+  std::string err;
+  ASSERT_TRUE(v2->load_model("alt", alt, -1, &err)) << err;  // ...plus one
+
+  // A deterministic v1 session: ok paths, a cached replay, and every parse /
+  // admin error shape. None of the lines mention "model".
+  const std::vector<std::string> lines = {
+      R"({"id":"1","op":"embed_gates","netlist":"module m source synthetic\n)"
+      R"(port a\nport b\ngate AND2 g1 a b out\nendmodule\n"})",
+      R"({"id":"2","op":"embed_cone","netlist":"module m source synthetic\n)"
+      R"(port a\nport b\ngate AND2 g1 a b out\nendmodule\n","k_hop":2})",
+      R"({"id":"3","op":"embed_gates","netlist":"module other source )"
+      R"(synthetic\nport x\nport y\ngate AND2 zz x y out\nendmodule\n"})",
+      R"({"id":"4","op":"ping"})",
+      R"({"id":"5","op":"reload"})",  // no default prefix configured → error
+      R"({"id":"6","op":"embed_gates"})",
+      R"({"id":"7","op":"fly"})",
+      "{{{",
+  };
+  for (const std::string& line : lines) {
+    // Perturb the v2 server with traffic on the extra replica between every
+    // v1 line: it must never leak into the default replica's responses.
+    ASSERT_TRUE(v2->submit(model_request(kOrNetlist, "alt")).ok());
+    EXPECT_EQ(v1->handle_line(line), v2->handle_line(line)) << line;
+  }
+}
+
+TEST(Server, StatsReportPerReplicaSectionAndDefaults) {
+  const std::string pa = save_tiny_checkpoint("/tmp/nettag_stats_a", 21);
+  const std::string pb = save_tiny_checkpoint("/tmp/nettag_stats_b", 3737);
+  Server server{ServerConfig{}};
+  std::string err;
+  ASSERT_TRUE(server.load_model("a", pa, -1, &err)) << err;
+  ASSERT_TRUE(server.load_model("b", pb, -1, &err)) << err;
+  ASSERT_TRUE(server.submit(model_request(kAndNetlist, "a")).ok());
+  ASSERT_TRUE(server.submit(model_request(kAndRenamed, "a")).ok());  // hit
+
+  Json j;
+  ASSERT_TRUE(Json::parse(server.stats_json(), &j, &err)) << err;
+  const Json* models = j.find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->items().size(), 2u);
+  const Json& a = models->items()[0];  // registry rows sort by name
+  EXPECT_EQ(a.find("name")->as_string(), "a");
+  EXPECT_EQ(a.find("requests")->as_int(), 2);
+  EXPECT_EQ(a.find("cache_hits")->as_int(), 1);
+  EXPECT_EQ(a.find("cache_misses")->as_int(), 1);
+  EXPECT_EQ(a.find("backend")->as_string(), "fp32");
+  EXPECT_EQ(a.find("weights_crc32")->as_string().size(), 8u);
+  const Json& b = models->items()[1];
+  EXPECT_EQ(b.find("name")->as_string(), "b");
+  EXPECT_EQ(b.find("requests")->as_int(), 0);
+
+  // Effective request defaults are echoed (the deduped max_cone_gates bound
+  // among them), and the v1 top-level weight fields only describe a replica
+  // actually named "default" — absent here.
+  const Json* defaults = j.find("defaults");
+  ASSERT_NE(defaults, nullptr);
+  EXPECT_EQ(defaults->find("max_cone_gates")->as_int(),
+            static_cast<std::int64_t>(serve::kDefaultMaxConeGates));
+  EXPECT_EQ(defaults->find("max_gates")->as_int(), 20000);
+  EXPECT_EQ(defaults->find("quantize")->as_bool(), false);
+  EXPECT_EQ(j.find("weights_crc32"), nullptr);
+  EXPECT_EQ(j.find("backend"), nullptr);
+
+  remove_tiny_checkpoint(pa);
+  remove_tiny_checkpoint(pb);
+}
+
 }  // namespace
 }  // namespace nettag

@@ -1,12 +1,12 @@
 // nettag_serve — the NetTAG embedding inference daemon.
 //
 // Modes:
-//   nettag_serve --model PREFIX [flags]   load `<PREFIX>.ckpt` (+ parameter
-//                                         files) and serve newline-delimited
-//                                         JSON requests on stdin, one JSON
+//   nettag_serve --model SPEC [flags]     load one replica per --model flag
+//                                         and serve newline-delimited JSON
+//                                         requests on stdin, one JSON
 //                                         response line on stdout per request
-//                                         (docs/ARCHITECTURE.md §7.1)
-//   nettag_serve --model PREFIX --listen ADDR
+//                                         (docs/ARCHITECTURE.md §7.1, §12)
+//   nettag_serve --model SPEC --listen ADDR
 //                                         socket daemon (docs §11): serve the
 //                                         same NDJSON protocol to concurrent
 //                                         clients on a unix path or TCP port,
@@ -21,13 +21,22 @@
 //   nettag_serve --help                   usage (exit 0)
 //
 // Flags (serve):
+//   --model SPEC           `[NAME=]PREFIX[,quantize|,fp32]`, repeatable: one
+//                          replica per flag, each from its own checkpoint
+//                          prefix, each independently hot-reloadable. NAME
+//                          defaults to "default" (the replica requests
+//                          without a "model" field target); the backend
+//                          suffix overrides --quantize for that replica
 //   --max-gates N          admission size bound (default 20000)
 //   --cache-entries N      result-cache bound (default 256; the daemon splits
 //                          it across shard partitions)
-//   --text-cache-entries N frozen-text-embedding cache bound (default 4096)
+//   --text-cache-entries N frozen-text-embedding cache bound (default 4096;
+//                          one striped cache shared by all replicas)
 //   --max-batch N          largest request batch (default 32)
 //   --reject-warnings      strict admission: lint warnings also reject
-//   --quantize             serve the int8 packed-weight path (docs/PERFORMANCE.md §4)
+//   --quantize             serve the int8 packed-weight path by default
+//                          (docs/PERFORMANCE.md §4); per-replica suffixes
+//                          and model_load's "quantize" field override it
 //   --log FILE             append one "<op> <status> <ms>" line per request
 // Flags (daemon):
 //   --listen ADDR          unix:/path/to.sock or host:port (port 0 = pick one)
@@ -41,14 +50,15 @@
 // Exits 0 on EOF, a `shutdown` request, or SIGTERM/SIGINT — the signal path
 // drains: the stdin loop finishes the request it is on and the daemon
 // finishes every queued request, flushes responses, and prints final metrics
-// to stderr. A `reload` request hot-swaps the model from a checkpoint prefix
-// (default: the --model prefix) without dropping in-flight work. Bad
-// requests are per-request error responses, never daemon failures. The
-// stdin loop is deliberately serial — each line is processed to completion
-// before the next is read, so wire-path batches always have size 1 and a
-// replayed request file yields byte-identical output. Concurrent batching
-// happens across daemon shards, or behind the in-process
-// Server::submit_async API (see run_serve's note).
+// to stderr. A `reload` request hot-swaps one replica from a checkpoint
+// prefix (default: the prefix that replica was loaded from) without dropping
+// in-flight work; `model_load`/`model_unload` add and remove replicas at
+// runtime. Bad requests are per-request error responses, never daemon
+// failures. The stdin loop is deliberately serial — each line is processed
+// to completion before the next is read, so wire-path batches always have
+// size 1 and a replayed request file yields byte-identical output.
+// Concurrent batching happens across daemon shards, or behind the
+// in-process Server::submit_async API (see run_serve's note).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -70,7 +80,8 @@ namespace {
 
 void usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: nettag_serve --model PREFIX [--max-gates N]\n"
+               "usage: nettag_serve --model [NAME=]PREFIX[,quantize|,fp32] ...\n"
+               "                    [--max-gates N]\n"
                "                    [--cache-entries N] [--text-cache-entries N]\n"
                "                    [--max-batch N] [--reject-warnings]\n"
                "                    [--quantize] [--log FILE]\n"
@@ -80,12 +91,15 @@ void usage(std::FILE* to) {
                "       nettag_serve --help\n"
                "\n"
                "Serves gate/cone/circuit embeddings and task predictions for\n"
-               "a pre-trained NetTAG checkpoint over newline-delimited JSON\n"
+               "pre-trained NetTAG checkpoints over newline-delimited JSON\n"
                "on stdin/stdout, or — with --listen unix:/path or host:port —\n"
-               "as a sharded socket daemon for concurrent clients. --connect\n"
-               "bridges stdin/stdout to a running daemon. See\n"
-               "docs/ARCHITECTURE.md sections 7 and 11 for the protocol\n"
-               "grammar, error taxonomy, `stats` fields, and daemon design.\n");
+               "as a sharded socket daemon for concurrent clients. --model is\n"
+               "repeatable: each flag loads one named replica (default name\n"
+               "\"default\"), independently hot-reloadable and addressable by\n"
+               "the request \"model\" field. --connect bridges stdin/stdout\n"
+               "to a running daemon. See docs/ARCHITECTURE.md sections 7, 11\n"
+               "and 12 for the protocol grammar, error taxonomy, `stats`\n"
+               "fields, daemon design, and the model registry.\n");
 }
 
 int train_demo(const std::string& prefix, std::uint64_t seed, int designs) {
@@ -117,26 +131,36 @@ int train_demo(const std::string& prefix, std::uint64_t seed, int designs) {
   return 0;
 }
 
-std::unique_ptr<NetTag> load_serving_model(const std::string& prefix,
-                                           std::size_t text_cache_entries) {
-  std::unique_ptr<NetTag> model;
-  try {
-    model = load_checkpoint(prefix);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "nettag_serve: cannot load checkpoint '%s': %s\n",
-                 prefix.c_str(), e.what());
-    return nullptr;
+/// Builds a server with one registered replica per --model spec. Replicas
+/// load through the same registry path as the `model_load` op; the first one
+/// donates the shared text cache (config.text_cache_entries/_partitions set
+/// its layout). Null on any load failure (the error names the spec).
+std::unique_ptr<serve::Server> build_server(
+    const std::vector<cli::ModelSpec>& specs, serve::ServerConfig config) {
+  auto server = std::make_unique<serve::Server>(std::move(config));
+  for (const cli::ModelSpec& spec : specs) {
+    std::string error;
+    if (!server->load_model(spec.name, spec.prefix, spec.quantize, &error)) {
+      std::fprintf(stderr,
+                   "nettag_serve: cannot load checkpoint '%s' (model '%s'): "
+                   "%s\n",
+                   spec.prefix.c_str(), spec.name.c_str(), error.c_str());
+      return nullptr;
+    }
+    // Pin a snapshot for the startup line: the one-per-replica twin of the
+    // old single-model message, dim included (checkpoints can differ).
+    const std::shared_ptr<const NetTag> model = server->model_snapshot(spec.name);
+    std::fprintf(stderr,
+                 "nettag_serve: model '%s' loaded from '%s' (embedding dim "
+                 "%d)\n",
+                 spec.name.c_str(), spec.prefix.c_str(),
+                 model ? model->embedding_dim() : 0);
   }
-  model->text_cache().set_capacity(text_cache_entries);
-  return model;
+  return server;
 }
 
-int run_serve(const std::string& prefix, serve::ServerConfig config,
-          std::size_t text_cache_entries, const std::string& log_path) {
-  std::unique_ptr<NetTag> model =
-      load_serving_model(prefix, text_cache_entries);
-  if (!model) return 2;
-
+int run_serve(const std::vector<cli::ModelSpec>& specs,
+              serve::ServerConfig config, const std::string& log_path) {
   std::ofstream log;
   if (!log_path.empty()) {
     log.open(log_path, std::ios::app);
@@ -147,11 +171,12 @@ int run_serve(const std::string& prefix, serve::ServerConfig config,
     }
   }
 
-  serve::Server server(config, std::move(model));
+  std::unique_ptr<serve::Server> server_ptr =
+      build_server(specs, std::move(config));
+  if (!server_ptr) return 2;
+  serve::Server& server = *server_ptr;
   std::fprintf(stderr,
-               "nettag_serve: model '%s' loaded (embedding dim %d); awaiting "
-               "NDJSON requests on stdin\n",
-               prefix.c_str(), server.model().embedding_dim());
+               "nettag_serve: awaiting NDJSON requests on stdin\n");
 
   // SIGTERM/SIGINT drain instead of killing mid-response: the handlers are
   // installed *without* SA_RESTART, so a signal arriving while getline
@@ -192,18 +217,19 @@ int run_serve(const std::string& prefix, serve::ServerConfig config,
   return 0;
 }
 
-int run_daemon(const std::string& prefix, serve::ServerConfig config,
-               std::size_t text_cache_entries, net::DaemonConfig dcfg) {
-  std::unique_ptr<NetTag> model =
-      load_serving_model(prefix, text_cache_entries);
-  if (!model) return 2;
+int run_daemon(const std::vector<cli::ModelSpec>& specs,
+               serve::ServerConfig config, net::DaemonConfig dcfg) {
   // One text-cache stripe per shard: shard workers embed concurrently and
-  // must not serialize on a single cache mutex. Reload carries the
-  // partition count onto the fresh model (serve/server.cpp).
-  model->text_cache().set_partitions(dcfg.shards);
+  // must not serialize on a single cache mutex. All replicas share the
+  // striped cache, and reload/model_load attach fresh models to it, so the
+  // layout survives every swap (serve/registry.cpp).
+  config.text_cache_partitions = dcfg.shards;
   dcfg.cache_entries = config.cache_entries;
 
-  serve::Server server(config, std::move(model));
+  std::unique_ptr<serve::Server> server_ptr =
+      build_server(specs, std::move(config));
+  if (!server_ptr) return 2;
+  serve::Server& server = *server_ptr;
   net::Daemon daemon(server, dcfg);
   std::string error;
   if (!daemon.start(&error)) {
@@ -215,16 +241,16 @@ int run_daemon(const std::string& prefix, serve::ServerConfig config,
     // Print the *resolved* port so `--listen host:0` callers (tests, CI)
     // can find the daemon.
     std::fprintf(stderr,
-                 "nettag_serve: model '%s' loaded; listening on %s:%u "
+                 "nettag_serve: %zu model(s) loaded; listening on %s:%u "
                  "(%zu shards, queue depth %zu)\n",
-                 prefix.c_str(), dcfg.listen.host.c_str(),
+                 specs.size(), dcfg.listen.host.c_str(),
                  static_cast<unsigned>(daemon.tcp_port()), dcfg.shards,
                  dcfg.queue_depth);
   } else {
     std::fprintf(stderr,
-                 "nettag_serve: model '%s' loaded; listening on %s "
+                 "nettag_serve: %zu model(s) loaded; listening on %s "
                  "(%zu shards, queue depth %zu)\n",
-                 prefix.c_str(), dcfg.listen.spec().c_str(), dcfg.shards,
+                 specs.size(), dcfg.listen.spec().c_str(), dcfg.shards,
                  dcfg.queue_depth);
   }
   const std::atomic<bool>* stop = install_stop_signals_interrupting();
@@ -255,11 +281,12 @@ int run_client(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string model_prefix, demo_prefix, log_path, connect_spec;
+  std::vector<cli::ModelSpec> model_specs;
+  std::string demo_prefix, log_path, connect_spec;
   serve::ServerConfig config;
+  config.text_cache_entries = TextEmbeddingCache::kDefaultEntries;
   net::DaemonConfig dcfg;
   bool daemon_mode = false;
-  std::size_t text_cache_entries = TextEmbeddingCache::kDefaultEntries;
   std::uint64_t seed = 0x5eed;
   int designs = 1;
 
@@ -287,7 +314,14 @@ int main(int argc, char** argv) {
       usage(stdout);
       return 0;
     } else if (!std::strcmp(arg, "--model")) {
-      model_prefix = need_value(i);
+      cli::ModelSpec spec;
+      std::string err;
+      if (!cli::parse_model_spec(need_value(i), &spec, &err)) {
+        std::fprintf(stderr, "nettag_serve: --model: %s\n", err.c_str());
+        usage(stderr);
+        return 2;
+      }
+      model_specs.push_back(std::move(spec));
       ++i;
     } else if (!std::strcmp(arg, "--train-demo")) {
       demo_prefix = need_value(i);
@@ -299,7 +333,7 @@ int main(int argc, char** argv) {
       config.cache_entries = need_count(i);
       ++i;
     } else if (!std::strcmp(arg, "--text-cache-entries")) {
-      text_cache_entries = need_count(i);
+      config.text_cache_entries = need_count(i);
       ++i;
     } else if (!std::strcmp(arg, "--max-batch")) {
       config.max_batch = need_count(i);
@@ -353,7 +387,7 @@ int main(int argc, char** argv) {
   }
 
   if (!connect_spec.empty()) {
-    if (!model_prefix.empty() || !demo_prefix.empty() || daemon_mode) {
+    if (!model_specs.empty() || !demo_prefix.empty() || daemon_mode) {
       std::fprintf(stderr,
                    "nettag_serve: --connect excludes --model/--train-demo/"
                    "--listen\n");
@@ -361,7 +395,7 @@ int main(int argc, char** argv) {
     }
     return run_client(connect_spec);
   }
-  if (!demo_prefix.empty() && !model_prefix.empty()) {
+  if (!demo_prefix.empty() && !model_specs.empty()) {
     std::fprintf(stderr,
                  "nettag_serve: --model and --train-demo are exclusive\n");
     return 2;
@@ -373,17 +407,25 @@ int main(int argc, char** argv) {
     }
     return train_demo(demo_prefix, seed, designs);
   }
-  if (model_prefix.empty()) {
+  if (model_specs.empty()) {
     usage(stderr);
     return 2;
   }
-  // The startup checkpoint doubles as the default `reload` target, so a
-  // prefix-less reload request re-reads whatever the daemon was started from
-  // (the common "the trainer just updated the checkpoint" case).
-  config.model_prefix = model_prefix;
-  if (daemon_mode) {
-    return run_daemon(model_prefix, config, text_cache_entries,
-                      std::move(dcfg));
+  for (std::size_t a = 1; a < model_specs.size(); ++a) {
+    for (std::size_t b = 0; b < a; ++b) {
+      if (model_specs[a].name == model_specs[b].name) {
+        std::fprintf(stderr, "nettag_serve: duplicate --model name '%s'\n",
+                     model_specs[a].name.c_str());
+        return 2;
+      }
+    }
   }
-  return run_serve(model_prefix, config, text_cache_entries, log_path);
+  // Each replica's startup checkpoint doubles as its default `reload`
+  // target (the registry stores it), so a prefix-less reload request
+  // re-reads whatever that replica was started from — the common "the
+  // trainer just updated the checkpoint" case.
+  if (daemon_mode) {
+    return run_daemon(model_specs, std::move(config), std::move(dcfg));
+  }
+  return run_serve(model_specs, std::move(config), log_path);
 }
