@@ -1,0 +1,620 @@
+#include "core/corpus_stream.hpp"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/lint.hpp"
+#include "netlist/io.hpp"
+#include "nn/serialize.hpp"
+#include "util/atomic_io.hpp"
+#include "util/checksum.hpp"
+
+namespace nettag {
+
+namespace {
+
+constexpr const char* kManifestName = "corpus.manifest";
+constexpr const char* kManifestFormat = "nettag-corpus-v1";
+constexpr const char* kShardHeader = "nettag-shard v1";
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string shard_filename(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard_%05zu.nls", index);
+  return buf;
+}
+
+std::string join_names(const std::vector<FamilyProfile>& fams) {
+  std::string out;
+  for (const FamilyProfile& f : fams) {
+    if (!out.empty()) out += ',';
+    out += f.name;
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// The option record stored in (and validated against) the manifest. A
+/// resumed run with different options would silently produce a corpus that
+/// matches neither configuration — refuse instead.
+std::vector<std::pair<std::string, std::string>> config_entries(
+    const StreamOptions& o, std::uint64_t seed) {
+  return {
+      {"format", kManifestFormat},
+      {"seed", std::to_string(seed)},
+      {"families", join_names(benchmark_families())},
+      {"designs_per_family", std::to_string(o.designs_per_family)},
+      {"designs_per_shard", std::to_string(o.designs_per_shard)},
+      {"hierarchical", o.hierarchical ? "1" : "0"},
+      {"k_hop", std::to_string(o.corpus.k_hop)},
+      {"max_cone_gates", std::to_string(o.corpus.max_cone_gates)},
+      {"with_physical", o.corpus.with_physical ? "1" : "0"},
+      {"placement_passes", std::to_string(o.corpus.placement_passes)},
+      {"hier_levels", std::to_string(o.hierarchy.levels)},
+      {"hier_min_blocks", std::to_string(o.hierarchy.min_blocks_per_level)},
+      {"hier_max_blocks", std::to_string(o.hierarchy.max_blocks_per_level)},
+      {"hier_shared", std::to_string(o.hierarchy.shared_blocks)},
+  };
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Removes temp files a killed writer left behind (AtomicFileWriter names
+/// them `<final>.tmp.<pid>.<n>`; the pid is gone, so they are garbage).
+void remove_stale_tmp(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.find(".tmp.") != std::string::npos) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+// --- shard serialization -----------------------------------------------------
+
+void write_blob(std::ostream& os, const std::string& tag,
+                const std::string& bytes) {
+  os << tag << ' ' << bytes.size() << '\n' << bytes << '\n';
+}
+
+std::string serialize_shard(const Corpus& corpus,
+                            const CorpusExpressions& exprs) {
+  std::ostringstream os;
+  os << kShardHeader << '\n';
+  for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
+    const DesignSample& ds = corpus.designs[d];
+    os << "design " << ds.gen.netlist.name() << ' '
+       << ds.gen.netlist.source() << '\n';
+    os << "labels " << fmt_double(ds.area_wo_opt) << ' '
+       << fmt_double(ds.power_wo_opt) << ' ' << fmt_double(ds.area_w_opt)
+       << ' ' << fmt_double(ds.power_w_opt) << ' '
+       << fmt_double(ds.tool_area) << ' ' << fmt_double(ds.tool_power) << ' '
+       << fmt_double(ds.pr_runtime_seconds) << '\n';
+    write_blob(os, "rtl", ds.gen.rtl_text);
+    // unordered_map order is not stable across implementations; sort so the
+    // shard bytes are a pure function of (seed, options).
+    std::vector<std::pair<std::string, std::string>> regs(
+        ds.gen.reg_rtl.begin(), ds.gen.reg_rtl.end());
+    std::sort(regs.begin(), regs.end());
+    os << "regrtl " << regs.size() << '\n';
+    for (const auto& [reg, text] : regs) write_blob(os, "reg " + reg, text);
+    write_blob(os, "netlist", netlist_to_string(ds.gen.netlist));
+    os << "cones " << ds.cones.size() << '\n';
+    for (std::size_t c = 0; c < ds.cones.size(); ++c) {
+      const ConeSample& cs = ds.cones[c];
+      os << "cone " << cs.register_name << ' ' << (cs.is_state_reg ? 1 : 0)
+         << ' ' << (cs.has_layout ? 1 : 0) << ' ' << fmt_double(cs.slack_label)
+         << ' ' << fmt_double(cs.clock_period) << '\n';
+      write_blob(os, "rtl", cs.rtl_text);
+      write_blob(os, "conenet", netlist_to_string(cs.cone));
+      const std::vector<std::string>& es = exprs[d][c];
+      os << "exprs " << es.size() << '\n';
+      for (const std::string& e : es) os << "e " << e << '\n';
+      os << "layout " << cs.layout.node_feats.size() << ' '
+         << cs.layout.edges.size() << '\n';
+      for (const auto& nf : cs.layout.node_feats) {
+        os << 'n';
+        for (double f : nf) os << ' ' << fmt_double(f);
+        os << '\n';
+      }
+      for (const auto& [u, v] : cs.layout.edges) {
+        os << "g " << u << ' ' << v << '\n';
+      }
+      os << "endcone\n";
+    }
+    os << "enddesign\n";
+  }
+  os << "end " << corpus.designs.size() << '\n';
+  return os.str();
+}
+
+// --- shard parsing -----------------------------------------------------------
+
+/// Line/byte-tracking cursor so every rejection names the exact location.
+struct Cursor {
+  const std::string& text;
+  const std::string& path;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("shard " + path + ": " + why + " (line " +
+                             std::to_string(line) + ", byte offset " +
+                             std::to_string(pos) + ")");
+  }
+
+  std::string next_line() {
+    if (pos >= text.size()) fail("unexpected end of shard");
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) fail("unterminated line");
+    std::string out = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line;
+    return out;
+  }
+
+  /// Reads a `<tag> <n>` header line then n raw bytes plus the trailing
+  /// newline.
+  std::string read_blob(const std::string& tag) {
+    const std::string header = next_line();
+    std::istringstream is(header);
+    std::string got;
+    std::size_t n = 0;
+    if (!(is >> got) || got != tag || !(is >> n)) {
+      fail("expected '" + tag + " <bytes>', got '" + header + "'");
+    }
+    if (pos + n + 1 > text.size()) fail("blob extends past end of shard");
+    std::string bytes = text.substr(pos, n);
+    pos += n;
+    if (text[pos] != '\n') fail("blob missing trailing newline");
+    ++pos;
+    line += static_cast<std::size_t>(
+                std::count(bytes.begin(), bytes.end(), '\n')) + 1;
+    return bytes;
+  }
+};
+
+double parse_double(Cursor& cur, std::istringstream& is,
+                    const std::string& what) {
+  std::string tok;
+  if (!(is >> tok)) cur.fail("missing " + what);
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') cur.fail("bad " + what + ": " + tok);
+  return v;
+}
+
+long parse_long(Cursor& cur, std::istringstream& is, const std::string& what,
+                long lo, long hi) {
+  std::string tok;
+  if (!(is >> tok)) cur.fail("missing " + what);
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || v < lo || v > hi) {
+    cur.fail("bad " + what + ": " + tok);
+  }
+  return v;
+}
+
+ShardedCorpus::Shard parse_shard(const std::string& text,
+                                 const std::string& path,
+                                 const std::vector<std::string>& families) {
+  // Checksum first: a truncated or bit-flipped shard must be rejected before
+  // any of it is interpreted.
+  Cursor probe{text, path};
+  if (text.empty() || text.back() != '\n') {
+    probe.pos = text.size();
+    probe.line = static_cast<std::size_t>(
+                     std::count(text.begin(), text.end(), '\n')) + 1;
+    probe.fail("truncated shard: no trailing newline");
+  }
+  const std::size_t prev_nl = text.rfind('\n', text.size() - 2);
+  const std::size_t last_start = prev_nl == std::string::npos ? 0 : prev_nl + 1;
+  const std::string last =
+      text.substr(last_start, text.size() - 1 - last_start);
+  probe.pos = last_start;
+  probe.line = static_cast<std::size_t>(
+                   std::count(text.begin(), text.begin() +
+                              static_cast<std::ptrdiff_t>(last_start), '\n')) + 1;
+  if (last.rfind("checksum ", 0) != 0) {
+    probe.fail("truncated shard: final line is not a checksum");
+  }
+  const std::string body = text.substr(0, last_start);
+  if (crc32_hex(crc32(body)) != last.substr(9)) {
+    probe.fail("checksum mismatch: shard is corrupt");
+  }
+
+  Cursor cur{body, path};
+  if (cur.next_line() != kShardHeader) {
+    cur.fail(std::string("bad shard header, expected '") + kShardHeader + "'");
+  }
+
+  ShardedCorpus::Shard shard;
+  shard.corpus.families = families;
+  while (true) {
+    std::string head = cur.next_line();
+    if (head.rfind("end ", 0) == 0) {
+      std::istringstream is(head.substr(4));
+      std::size_t n = 0;
+      if (!(is >> n) || n != shard.corpus.designs.size()) {
+        cur.fail("design count mismatch in end marker");
+      }
+      break;
+    }
+    std::istringstream is(head);
+    std::string tag, name, family;
+    if (!(is >> tag >> name >> family) || tag != "design") {
+      cur.fail("expected 'design <name> <family>', got '" + head + "'");
+    }
+    DesignSample ds;
+
+    std::istringstream ls(cur.next_line());
+    std::string ltag;
+    if (!(ls >> ltag) || ltag != "labels") cur.fail("expected labels line");
+    ds.area_wo_opt = parse_double(cur, ls, "area_wo_opt");
+    ds.power_wo_opt = parse_double(cur, ls, "power_wo_opt");
+    ds.area_w_opt = parse_double(cur, ls, "area_w_opt");
+    ds.power_w_opt = parse_double(cur, ls, "power_w_opt");
+    ds.tool_area = parse_double(cur, ls, "tool_area");
+    ds.tool_power = parse_double(cur, ls, "tool_power");
+    ds.pr_runtime_seconds = parse_double(cur, ls, "pr_runtime_seconds");
+
+    ds.gen.rtl_text = cur.read_blob("rtl");
+    std::istringstream rs(cur.next_line());
+    std::string rtag;
+    std::size_t nregs = 0;
+    if (!(rs >> rtag >> nregs) || rtag != "regrtl") {
+      cur.fail("expected 'regrtl <count>'");
+    }
+    for (std::size_t r = 0; r < nregs; ++r) {
+      // Blob tag carries the register name: "reg <name> <bytes>".
+      const std::string header = cur.next_line();
+      std::istringstream hs(header);
+      std::string htag, reg;
+      std::size_t nbytes = 0;
+      if (!(hs >> htag >> reg >> nbytes) || htag != "reg") {
+        cur.fail("expected 'reg <name> <bytes>', got '" + header + "'");
+      }
+      if (cur.pos + nbytes + 1 > cur.text.size()) {
+        cur.fail("register RTL blob extends past end of shard");
+      }
+      std::string bytes = cur.text.substr(cur.pos, nbytes);
+      cur.pos += nbytes;
+      if (cur.text[cur.pos] != '\n') cur.fail("blob missing trailing newline");
+      ++cur.pos;
+      cur.line += static_cast<std::size_t>(
+                      std::count(bytes.begin(), bytes.end(), '\n')) + 1;
+      ds.gen.reg_rtl[reg] = std::move(bytes);
+    }
+    try {
+      ds.gen.netlist = netlist_from_string(cur.read_blob("netlist"));
+    } catch (const std::exception& e) {
+      cur.fail(std::string("embedded netlist: ") + e.what());
+    }
+
+    std::istringstream cs(cur.next_line());
+    std::string ctag;
+    std::size_t ncones = 0;
+    if (!(cs >> ctag >> ncones) || ctag != "cones") {
+      cur.fail("expected 'cones <count>'");
+    }
+    std::vector<std::vector<std::string>> design_exprs;
+    for (std::size_t c = 0; c < ncones; ++c) {
+      std::istringstream hs(cur.next_line());
+      std::string htag;
+      ConeSample cone;
+      cone.family = family;
+      cone.design = name;
+      if (!(hs >> htag >> cone.register_name) || htag != "cone") {
+        cur.fail("expected 'cone <register> ...'");
+      }
+      cone.is_state_reg = parse_long(cur, hs, "is_state_reg", 0, 1) != 0;
+      cone.has_layout = parse_long(cur, hs, "has_layout", 0, 1) != 0;
+      cone.slack_label = parse_double(cur, hs, "slack_label");
+      cone.clock_period = parse_double(cur, hs, "clock_period");
+      cone.rtl_text = cur.read_blob("rtl");
+      try {
+        cone.cone = netlist_from_string(cur.read_blob("conenet"));
+      } catch (const std::exception& e) {
+        cur.fail(std::string("embedded cone netlist: ") + e.what());
+      }
+      std::istringstream es(cur.next_line());
+      std::string etag;
+      std::size_t nexprs = 0;
+      if (!(es >> etag >> nexprs) || etag != "exprs") {
+        cur.fail("expected 'exprs <count>'");
+      }
+      std::vector<std::string> cexprs;
+      cexprs.reserve(nexprs);
+      for (std::size_t e = 0; e < nexprs; ++e) {
+        const std::string el = cur.next_line();
+        if (el.rfind("e ", 0) != 0) cur.fail("expected 'e <expression>'");
+        cexprs.push_back(el.substr(2));
+      }
+      std::istringstream lgs(cur.next_line());
+      std::string lgtag;
+      std::size_t nnodes = 0, nedges = 0;
+      if (!(lgs >> lgtag >> nnodes >> nedges) || lgtag != "layout") {
+        cur.fail("expected 'layout <nodes> <edges>'");
+      }
+      cone.layout.node_feats.reserve(nnodes);
+      for (std::size_t nidx = 0; nidx < nnodes; ++nidx) {
+        std::istringstream ns(cur.next_line());
+        std::string ntag;
+        if (!(ns >> ntag) || ntag != "n") cur.fail("expected layout node line");
+        std::array<double, 6> feats{};
+        for (double& f : feats) f = parse_double(cur, ns, "node feature");
+        cone.layout.node_feats.push_back(feats);
+      }
+      for (std::size_t eidx = 0; eidx < nedges; ++eidx) {
+        std::istringstream gs(cur.next_line());
+        std::string gtag;
+        if (!(gs >> gtag) || gtag != "g") cur.fail("expected layout edge line");
+        const long u = parse_long(cur, gs, "edge endpoint", 0,
+                                  static_cast<long>(nnodes) - 1);
+        const long v = parse_long(cur, gs, "edge endpoint", 0,
+                                  static_cast<long>(nnodes) - 1);
+        cone.layout.edges.emplace_back(static_cast<int>(u),
+                                       static_cast<int>(v));
+      }
+      if (cur.next_line() != "endcone") cur.fail("expected 'endcone'");
+      design_exprs.push_back(std::move(cexprs));
+      ds.cones.push_back(std::move(cone));
+    }
+    if (cur.next_line() != "enddesign") cur.fail("expected 'enddesign'");
+    shard.exprs.push_back(std::move(design_exprs));
+    shard.corpus.designs.push_back(std::move(ds));
+  }
+  if (cur.pos != body.size()) cur.fail("trailing bytes after end marker");
+  return shard;
+}
+
+std::string read_file_or_throw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open shard " + path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+// --- writer ------------------------------------------------------------------
+
+StreamProgress build_corpus_stream(
+    const std::string& dir, const StreamOptions& options, std::uint64_t seed,
+    const std::function<void(const ShardStats&)>& on_shard) {
+  if (options.designs_per_family < 1 || options.designs_per_shard < 1) {
+    throw std::invalid_argument(
+        "build_corpus_stream: designs_per_family and designs_per_shard must "
+        "be >= 1");
+  }
+  ::mkdir(dir.c_str(), 0755);  // EEXIST is fine
+  remove_stale_tmp(dir);
+
+  const std::vector<FamilyProfile>& fams = benchmark_families();
+  const std::size_t total_designs =
+      fams.size() * static_cast<std::size_t>(options.designs_per_family);
+  const std::size_t dps = static_cast<std::size_t>(options.designs_per_shard);
+  const std::size_t shards_total = (total_designs + dps - 1) / dps;
+  const std::string manifest_path = dir + "/" + std::string(kManifestName);
+
+  // Resume: trust only the manifest's committed-shard list, and only when it
+  // records exactly the configuration we are running with.
+  std::size_t committed = 0;
+  std::vector<std::string> shard_rows;
+  if (file_exists(manifest_path)) {
+    const auto entries = load_manifest(manifest_path);
+    std::map<std::string, std::string> by_key(entries.begin(), entries.end());
+    for (const auto& [key, want] : config_entries(options, seed)) {
+      const auto it = by_key.find(key);
+      if (it == by_key.end() || it->second != want) {
+        throw std::runtime_error(
+            "corpus manifest " + manifest_path + ": option '" + key +
+            "' is '" + (it == by_key.end() ? "<missing>" : it->second) +
+            "' but this run uses '" + want +
+            "' — refusing to resume a different corpus");
+      }
+    }
+    for (const auto& [key, value] : entries) {
+      if (key.rfind("shard", 0) == 0 && key != "shards") {
+        shard_rows.push_back(value);
+      }
+    }
+    committed = shard_rows.size();
+    if (committed > shards_total) {
+      throw std::runtime_error("corpus manifest " + manifest_path +
+                               " lists more shards than this configuration "
+                               "produces");
+    }
+  }
+
+  auto write_manifest = [&](bool complete) {
+    std::vector<std::pair<std::string, std::string>> entries =
+        config_entries(options, seed);
+    entries.emplace_back("shards", std::to_string(shard_rows.size()));
+    for (std::size_t s = 0; s < shard_rows.size(); ++s) {
+      entries.emplace_back("shard" + std::to_string(s), shard_rows[s]);
+    }
+    entries.emplace_back("complete", complete ? "1" : "0");
+    save_manifest(manifest_path, entries);
+  };
+
+  StreamProgress progress;
+  progress.shards_total = shards_total;
+  Rng root(seed);
+  std::size_t written = 0;
+  for (std::size_t s = 0; s < shards_total; ++s) {
+    const std::size_t lo = s * dps;
+    const std::size_t hi = std::min(total_designs, lo + dps);
+    if (s < committed) {
+      // Committed by a previous run: consume this shard's RNG forks so the
+      // remaining shards regenerate bit-identically, but do no work.
+      for (std::size_t i = lo; i < hi; ++i) (void)root.fork();
+      ++progress.shards_skipped;
+      if (on_shard) {
+        ShardStats st;
+        st.index = s;
+        st.path = dir + "/" + shard_filename(s);
+        st.designs = hi - lo;
+        st.skipped = true;
+        on_shard(st);
+      }
+      continue;
+    }
+    if (options.halt_after_shards > 0 &&
+        written >= static_cast<std::size_t>(options.halt_after_shards)) {
+      write_manifest(/*complete=*/false);
+      return progress;
+    }
+
+    // Produce: one fork per design, fixed global order.
+    Corpus shard_corpus;
+    for (const FamilyProfile& f : fams) shard_corpus.families.push_back(f.name);
+    for (std::size_t i = lo; i < hi; ++i) {
+      Rng drng = root.fork();
+      const FamilyProfile& profile = fams[i % fams.size()];
+      const std::size_t idx = i / fams.size();
+      const std::string name = profile.name +
+                               (options.hierarchical ? "_h" : "_d") +
+                               std::to_string(idx);
+      GeneratedDesign gen =
+          options.hierarchical
+              ? generate_hierarchical_design(profile, options.hierarchy, drng,
+                                             name)
+              : generate_design(profile, drng, name);
+      shard_corpus.designs.push_back(
+          make_design_sample(std::move(gen), options.corpus, drng));
+    }
+    // Lint: the same assembly gate build_corpus runs corpus-wide, applied
+    // per shard so it never needs the whole dataset in RAM.
+    enforce_clean(lint_corpus(shard_corpus),
+                  "corpus shard " + std::to_string(s));
+    // Embed: derive every cone's expressions once; readers reuse them.
+    const CorpusExpressions exprs =
+        corpus_expressions(shard_corpus, options.corpus.k_hop);
+
+    const std::string body = serialize_shard(shard_corpus, exprs);
+    const std::string path = dir + "/" + shard_filename(s);
+    const std::string crc = crc32_hex(crc32(body));
+    {
+      AtomicFileWriter writer(path, /*binary=*/true);
+      writer.stream() << body << "checksum " << crc << '\n';
+      writer.commit();
+    }
+
+    ShardStats st;
+    st.index = s;
+    st.path = path;
+    st.designs = shard_corpus.designs.size();
+    st.bytes = body.size() + crc.size() + 10;  // + "checksum \n"
+    for (std::size_t d = 0; d < shard_corpus.designs.size(); ++d) {
+      st.cones += shard_corpus.designs[d].cones.size();
+      st.gates += shard_corpus.designs[d].gen.netlist.size();
+      for (const auto& ce : exprs[d]) st.expressions += ce.size();
+    }
+    shard_rows.push_back(shard_filename(s) + " " + crc + " " +
+                         std::to_string(st.designs));
+    write_manifest(/*complete=*/shard_rows.size() == shards_total);
+
+    ++written;
+    ++progress.shards_written;
+    progress.designs += st.designs;
+    progress.cones += st.cones;
+    progress.gates += st.gates;
+    progress.expressions += st.expressions;
+    if (on_shard) on_shard(st);
+  }
+  progress.complete = shard_rows.size() == shards_total;
+  return progress;
+}
+
+// --- reader ------------------------------------------------------------------
+
+ShardedCorpus::ShardedCorpus(const std::string& dir) : dir_(dir) {
+  const std::string manifest_path = dir + "/" + std::string(kManifestName);
+  const auto entries = load_manifest(manifest_path);
+  std::map<std::string, std::string> by_key(entries.begin(), entries.end());
+  const auto format = by_key.find("format");
+  if (format == by_key.end() || format->second != kManifestFormat) {
+    throw std::runtime_error(
+        "corpus manifest " + manifest_path + ": unsupported format '" +
+        (format == by_key.end() ? "<missing>" : format->second) + "'");
+  }
+  const auto require = [&](const char* key) -> const std::string& {
+    const auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      throw std::runtime_error("corpus manifest " + manifest_path +
+                               ": missing key '" + key + "'");
+    }
+    return it->second;
+  };
+  seed_ = std::stoull(require("seed"));
+  k_hop_ = std::stoi(require("k_hop"));
+  families_ = split_csv(require("families"));
+  if (families_.empty()) {
+    throw std::runtime_error("corpus manifest " + manifest_path +
+                             ": empty family list");
+  }
+  complete_ = require("complete") == "1";
+  const std::size_t nshards = std::stoull(require("shards"));
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const std::string& row = require(("shard" + std::to_string(s)).c_str());
+    std::istringstream is(row);
+    std::string filename, crc;
+    std::size_t designs = 0;
+    if (!(is >> filename >> crc >> designs)) {
+      throw std::runtime_error("corpus manifest " + manifest_path +
+                               ": malformed shard row '" + row + "'");
+    }
+    shards_.push_back(dir + "/" + filename);
+    total_designs_ += designs;
+  }
+}
+
+ShardedCorpus::Shard ShardedCorpus::load(std::size_t index) const {
+  if (index >= shards_.size()) {
+    throw std::out_of_range("shard index " + std::to_string(index) +
+                            " out of range (have " +
+                            std::to_string(shards_.size()) + ")");
+  }
+  const std::string text = read_file_or_throw(shards_[index]);
+  return parse_shard(text, shards_[index], families_);
+}
+
+}  // namespace nettag

@@ -1,0 +1,145 @@
+// Streaming repository-scale corpus: produce -> lint -> embed -> write ->
+// discard, one shard at a time, so dataset size is bounded by the shard size
+// rather than by RAM.
+//
+// The pipeline generates designs in a fixed global order (families
+// round-robin, one `Rng::fork()` per design off the root seed), groups them
+// into shards of `designs_per_shard`, and for each shard: assembles the
+// designs (physical flow + register cones), runs the corpus lint gate
+// (`enforce_clean` per shard — the same rules build_corpus applies to the
+// whole corpus), derives every cone's k-hop expressions once (the *embed*
+// stage; readers never recompute them), serializes everything to one text
+// shard file, and frees the shard before starting the next one.
+//
+// Durability contract (docs/ARCHITECTURE.md §13):
+//   * Shard files are written through AtomicFileWriter: data fsync'd before
+//     the rename, parent directory fsync'd after — a reader never sees a
+//     torn shard and power loss cannot commit an empty one.
+//   * Every shard ends with a `checksum <crc32>` line over all preceding
+//     bytes (same convention as checkpoint manifests). Truncation or
+//     corruption is rejected with the exact byte offset and line — never
+//     silently skipped.
+//   * The corpus manifest is atomically rewritten after each shard commit
+//     and lists only committed shards. A kill -9 at *any* point loses at
+//     most the in-flight shard; resuming replays the committed prefix by
+//     consuming its RNG forks (no recompute) and regenerates the remainder
+//     bit-identically — shard generation depends only on (seed, options,
+//     design index), never on wall clock or process state.
+//
+// Shard format (text, line-oriented; BLOB = `<n>\n` + n raw bytes + `\n`):
+//   nettag-shard v1
+//   design <name> <family>
+//   labels <area_wo> <power_wo> <area_w> <power_w> <tool_area> <tool_power>
+//          <pr_runtime>                      (one line, %.17g round-trip)
+//   rtl BLOB                                 (full-design pseudo-Verilog)
+//   regrtl <count>   then per entry: reg <name> BLOB
+//   netlist BLOB                             (netlist/io.hpp format)
+//   cones <count>    then per cone:
+//     cone <register> <is_state 0|1> <has_layout 0|1> <slack> <clock>
+//     rtl BLOB
+//     conenet BLOB
+//     exprs <count>  then per expression: e <expression text>
+//     layout <nodes> <edges>  then `n <6 feats>` lines, `g <u> <v>` lines
+//     endcone
+//   enddesign
+//   end <design count>
+//   checksum <crc32 hex>
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "rtlgen/hierarchy.hpp"
+
+namespace nettag {
+
+/// Streaming-corpus shape. Deterministic: (seed, options) fully determine
+/// every shard byte.
+struct StreamOptions {
+  CorpusOptions corpus;        ///< per-design knobs (cones, flow, k_hop)
+  int designs_per_family = 8;  ///< total designs per family, across shards
+  int designs_per_shard = 4;   ///< shard granularity == peak RAM bound
+  bool hierarchical = true;    ///< hierarchical vs flat designs
+  HierarchyOptions hierarchy;
+  /// Test/CI hook: stop after writing this many *new* shards (0 = run to
+  /// completion). The manifest stays resumable.
+  int halt_after_shards = 0;
+};
+
+/// Per-shard accounting reported through the progress callback.
+struct ShardStats {
+  std::size_t index = 0;
+  std::string path;
+  std::size_t designs = 0;
+  std::size_t cones = 0;
+  std::size_t gates = 0;        ///< summed netlist gate counts
+  std::size_t expressions = 0;  ///< embedded k-hop expressions
+  std::size_t bytes = 0;        ///< shard file size
+  bool skipped = false;         ///< already committed by a previous run
+};
+
+/// Aggregate result of one build_corpus_stream run.
+struct StreamProgress {
+  std::size_t shards_total = 0;
+  std::size_t shards_written = 0;  ///< newly committed by this run
+  std::size_t shards_skipped = 0;  ///< committed by a previous run
+  std::size_t designs = 0;         ///< over newly written shards
+  std::size_t cones = 0;
+  std::size_t gates = 0;
+  std::size_t expressions = 0;
+  bool complete = false;           ///< manifest marked complete
+};
+
+/// Builds (or resumes building) the sharded corpus under `dir`. Creates the
+/// directory when missing, removes stale temp files, validates that an
+/// existing manifest was produced with the same seed/options (throws
+/// std::runtime_error otherwise), skips committed shards by consuming their
+/// RNG forks, and streams out the rest. `on_shard` (optional) fires after
+/// every shard, including skipped ones.
+StreamProgress build_corpus_stream(
+    const std::string& dir, const StreamOptions& options, std::uint64_t seed,
+    const std::function<void(const ShardStats&)>& on_shard = nullptr);
+
+/// Reader over a committed shard directory. Construction validates the
+/// manifest (format, checksum, option record); `load()` materializes one
+/// shard at a time so training never holds more than a shard in RAM.
+class ShardedCorpus {
+ public:
+  explicit ShardedCorpus(const std::string& dir);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  bool complete() const { return complete_; }
+  std::uint64_t seed() const { return seed_; }
+  int k_hop() const { return k_hop_; }
+  const std::vector<std::string>& families() const { return families_; }
+  /// Designs summed over committed shards.
+  std::size_t total_designs() const { return total_designs_; }
+
+  struct Shard {
+    Corpus corpus;           ///< families mirrors ShardedCorpus::families()
+    CorpusExpressions exprs; ///< [design][cone] — embedded at write time
+  };
+
+  /// Loads shard `index` fully. Throws std::runtime_error with the shard
+  /// path plus byte offset and line on truncation or corruption.
+  Shard load(std::size_t index) const;
+
+  /// Path of shard `index` (for tooling/diagnostics).
+  const std::string& shard_path(std::size_t index) const {
+    return shards_.at(index);
+  }
+
+ private:
+  std::string dir_;
+  std::vector<std::string> shards_;  // absolute paths, shard order
+  std::vector<std::string> families_;
+  std::uint64_t seed_ = 0;
+  int k_hop_ = 2;
+  std::size_t total_designs_ = 0;
+  bool complete_ = false;
+};
+
+}  // namespace nettag

@@ -1,6 +1,7 @@
 #include "core/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "analysis/lint.hpp"
 #include "expr/expr.hpp"
@@ -34,62 +35,77 @@ LayoutGraph cone_layout_graph(const PhysicalResult& flow, GateId register_id,
 
 }  // namespace
 
+DesignSample make_design_sample(GeneratedDesign gen,
+                                const CorpusOptions& options, Rng& rng) {
+  DesignSample sample;
+  sample.gen = std::move(gen);
+  const Netlist& nl = sample.gen.netlist;
+
+  PhysicalResult flow_opt;
+  if (options.with_physical) {
+    // Netlist-stage estimates (the synthesis "EDA tool" columns).
+    const ToolEstimate tool = synthesis_estimate(nl);
+    sample.tool_area = tool.area;
+    sample.tool_power = tool.power;
+    // Two label scenarios: plain P&R and optimizing P&R.
+    Rng flow_rng = rng.fork();
+    const PhysicalResult flow_plain = run_physical_flow(
+        nl, flow_rng, /*optimize=*/false, 0.0, options.placement_passes);
+    flow_opt = run_physical_flow(nl, flow_rng, /*optimize=*/true, 0.0,
+                                 options.placement_passes);
+    sample.area_wo_opt = flow_plain.area.total_area;
+    sample.power_wo_opt = flow_plain.power.total();
+    sample.area_w_opt = flow_opt.area.total_area;
+    sample.power_w_opt = flow_opt.power.total();
+    // The runtime label must be reproducible: shard bytes have to be
+    // identical across a kill/resume of the corpus builder, so a measured
+    // wall-clock value cannot be stored. Model the P&R runtime from the
+    // work the placer actually performs (passes x gates x log gates per
+    // flow run, two runs), calibrated to the same order of magnitude as
+    // the measured figures.
+    const double work = static_cast<double>(nl.size());
+    sample.pr_runtime_seconds = 2e-7 *
+                                static_cast<double>(options.placement_passes) *
+                                work * std::log2(work + 2.0) * 2.0;
+  }
+
+  // Chunk into register cones (model inputs come from the *pre-layout*
+  // netlist; labels come from the optimized implementation).
+  for (GateId r : nl.registers()) {
+    ConeSample cone;
+    const RegisterCone rc = extract_cone(nl, r, options.max_cone_gates);
+    cone.cone = rc.cone;
+    cone.family = nl.source();
+    cone.design = nl.name();
+    cone.register_name = nl.gate(r).name;
+    cone.is_state_reg = nl.gate(r).is_state_reg;
+    auto it = sample.gen.reg_rtl.find(cone.register_name);
+    if (it != sample.gen.reg_rtl.end()) cone.rtl_text = it->second;
+    if (options.with_physical) {
+      const GateId impl_reg = flow_opt.implemented.find(cone.register_name);
+      if (impl_reg != kNoGate) {
+        cone.clock_period = flow_opt.timing.clock_period;
+        cone.slack_label =
+            flow_opt.timing.slack[static_cast<std::size_t>(impl_reg)];
+        cone.layout =
+            cone_layout_graph(flow_opt, impl_reg, options.max_cone_gates);
+        cone.has_layout = true;
+      }
+    }
+    sample.cones.push_back(std::move(cone));
+  }
+  return sample;
+}
+
 Corpus build_corpus(const CorpusOptions& options, Rng& rng) {
   Corpus corpus;
   for (const FamilyProfile& profile : benchmark_families()) {
     corpus.families.push_back(profile.name);
     for (int d = 0; d < options.designs_per_family; ++d) {
-      DesignSample sample;
-      sample.gen = generate_design(
+      GeneratedDesign gen = generate_design(
           profile, rng, profile.name + "_d" + std::to_string(d));
-      const Netlist& nl = sample.gen.netlist;
-
-      PhysicalResult flow_opt;
-      if (options.with_physical) {
-        // Netlist-stage estimates (the synthesis "EDA tool" columns).
-        const ToolEstimate tool = synthesis_estimate(nl);
-        sample.tool_area = tool.area;
-        sample.tool_power = tool.power;
-        // Two label scenarios: plain P&R and optimizing P&R.
-        Rng flow_rng = rng.fork();
-        const PhysicalResult flow_plain = run_physical_flow(
-            nl, flow_rng, /*optimize=*/false, 0.0, options.placement_passes);
-        flow_opt = run_physical_flow(nl, flow_rng, /*optimize=*/true, 0.0,
-                                     options.placement_passes);
-        sample.area_wo_opt = flow_plain.area.total_area;
-        sample.power_wo_opt = flow_plain.power.total();
-        sample.area_w_opt = flow_opt.area.total_area;
-        sample.power_w_opt = flow_opt.power.total();
-        sample.pr_runtime_seconds =
-            flow_plain.runtime_seconds + flow_opt.runtime_seconds;
-      }
-
-      // Chunk into register cones (model inputs come from the *pre-layout*
-      // netlist; labels come from the optimized implementation).
-      for (GateId r : nl.registers()) {
-        ConeSample cone;
-        const RegisterCone rc = extract_cone(nl, r, options.max_cone_gates);
-        cone.cone = rc.cone;
-        cone.family = profile.name;
-        cone.design = nl.name();
-        cone.register_name = nl.gate(r).name;
-        cone.is_state_reg = nl.gate(r).is_state_reg;
-        auto it = sample.gen.reg_rtl.find(cone.register_name);
-        if (it != sample.gen.reg_rtl.end()) cone.rtl_text = it->second;
-        if (options.with_physical) {
-          const GateId impl_reg = flow_opt.implemented.find(cone.register_name);
-          if (impl_reg != kNoGate) {
-            cone.clock_period = flow_opt.timing.clock_period;
-            cone.slack_label =
-                flow_opt.timing.slack[static_cast<std::size_t>(impl_reg)];
-            cone.layout =
-                cone_layout_graph(flow_opt, impl_reg, options.max_cone_gates);
-            cone.has_layout = true;
-          }
-        }
-        sample.cones.push_back(std::move(cone));
-      }
-      corpus.designs.push_back(std::move(sample));
+      corpus.designs.push_back(
+          make_design_sample(std::move(gen), options, rng));
     }
   }
   // Dataset-assembly lint seam: cheap structural + boundary + label rules
@@ -100,16 +116,36 @@ Corpus build_corpus(const CorpusOptions& options, Rng& rng) {
   return corpus;
 }
 
-std::vector<std::string> collect_expressions(const Corpus& corpus, int k_hop,
+std::vector<std::string> cone_expressions(const Netlist& cone, int k_hop) {
+  std::vector<std::string> out;
+  for (const Gate& g : cone.gates()) {
+    if (gate_class_of(g.type) < 0) continue;  // logic gates only
+    out.push_back(to_string(khop_expression(cone, g.id, k_hop)));
+  }
+  return out;
+}
+
+CorpusExpressions corpus_expressions(const Corpus& corpus, int k_hop) {
+  CorpusExpressions exprs(corpus.designs.size());
+  for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
+    exprs[d].reserve(corpus.designs[d].cones.size());
+    for (const ConeSample& c : corpus.designs[d].cones) {
+      exprs[d].push_back(cone_expressions(c.cone, k_hop));
+    }
+  }
+  return exprs;
+}
+
+std::vector<std::string> collect_expressions(const Corpus& corpus,
+                                             const CorpusExpressions& exprs,
                                              std::size_t max_per_design) {
   std::vector<std::string> out;
-  for (const DesignSample& d : corpus.designs) {
+  for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
     std::size_t taken = 0;
-    for (const ConeSample& c : d.cones) {
-      for (const Gate& g : c.cone.gates()) {
-        if (gate_class_of(g.type) < 0) continue;  // logic gates only
+    for (const std::vector<std::string>& cone : exprs[d]) {
+      for (const std::string& e : cone) {
         if (taken >= max_per_design) break;
-        out.push_back(to_string(khop_expression(c.cone, g.id, k_hop)));
+        out.push_back(e);
         ++taken;
       }
       if (taken >= max_per_design) break;
@@ -118,21 +154,39 @@ std::vector<std::string> collect_expressions(const Corpus& corpus, int k_hop,
   return out;
 }
 
-std::vector<FamilyStats> corpus_statistics(const Corpus& corpus, int k_hop) {
+std::vector<std::string> collect_expressions(const Corpus& corpus, int k_hop,
+                                             std::size_t max_per_design) {
+  // Lazy per-cone variant: stops deriving expressions once a design's cap is
+  // reached instead of materializing the full corpus index first.
+  std::vector<std::string> out;
+  for (const DesignSample& d : corpus.designs) {
+    std::size_t taken = 0;
+    for (const ConeSample& c : d.cones) {
+      if (taken >= max_per_design) break;
+      for (std::string& e : cone_expressions(c.cone, k_hop)) {
+        if (taken >= max_per_design) break;
+        out.push_back(std::move(e));
+        ++taken;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FamilyStats> corpus_statistics(const Corpus& corpus,
+                                           const CorpusExpressions& exprs) {
   std::vector<FamilyStats> stats;
   for (const std::string& family : corpus.families) {
     FamilyStats fs;
     fs.family = family;
     double token_sum = 0, node_sum = 0;
-    for (const DesignSample& d : corpus.designs) {
-      if (d.gen.netlist.source() != family) continue;
-      for (const ConeSample& c : d.cones) {
+    for (std::size_t d = 0; d < corpus.designs.size(); ++d) {
+      const DesignSample& ds = corpus.designs[d];
+      if (ds.gen.netlist.source() != family) continue;
+      for (std::size_t c = 0; c < ds.cones.size(); ++c) {
         fs.cone_count += 1;
-        node_sum += static_cast<double>(c.cone.size());
-        for (const Gate& g : c.cone.gates()) {
-          if (gate_class_of(g.type) < 0) continue;
-          const std::string expr =
-              to_string(khop_expression(c.cone, g.id, k_hop));
+        node_sum += static_cast<double>(ds.cones[c].cone.size());
+        for (const std::string& expr : exprs[d][c]) {
           token_sum += static_cast<double>(tokenize_text(expr).size());
           fs.expr_count += 1;
         }
@@ -143,6 +197,10 @@ std::vector<FamilyStats> corpus_statistics(const Corpus& corpus, int k_hop) {
     stats.push_back(fs);
   }
   return stats;
+}
+
+std::vector<FamilyStats> corpus_statistics(const Corpus& corpus, int k_hop) {
+  return corpus_statistics(corpus, corpus_expressions(corpus, k_hop));
 }
 
 }  // namespace nettag

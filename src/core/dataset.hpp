@@ -57,10 +57,35 @@ struct Corpus {
 /// Builds the corpus. Deterministic given `rng`'s seed.
 Corpus build_corpus(const CorpusOptions& options, Rng& rng);
 
+/// Assembles one DesignSample from an already-generated design: runs the
+/// physical flow (when enabled) and chunks the netlist into labelled register
+/// cones. Consumes exactly one `rng.fork()` when `options.with_physical` —
+/// the per-design unit both build_corpus and the streaming shard builder
+/// (core/corpus_stream.hpp) are made of.
+DesignSample make_design_sample(GeneratedDesign gen,
+                                const CorpusOptions& options, Rng& rng);
+
+/// k-hop symbolic expressions of every logic gate of `cone`, in the cone's
+/// gate order (non-logic gates are skipped). This is the single place the
+/// expressions are derived: dataset collection, Table II statistics, and the
+/// shard embed stage all consume this product instead of re-deriving
+/// `khop_expression` gate-by-gate on their own.
+std::vector<std::string> cone_expressions(const Netlist& cone, int k_hop);
+
+/// Expressions of every cone of every design, computed once and shared.
+/// Indexing: `[design][cone]` parallel to `corpus.designs[d].cones[c]`.
+using CorpusExpressions = std::vector<std::vector<std::vector<std::string>>>;
+CorpusExpressions corpus_expressions(const Corpus& corpus, int k_hop);
+
 /// Collects k-hop symbolic expressions from every logic gate of every cone —
 /// the ExprLLM pre-training dataset (paper: 313k expressions; scaled here).
 /// `max_per_design` caps per-design contribution to keep families balanced.
 std::vector<std::string> collect_expressions(const Corpus& corpus, int k_hop,
+                                             std::size_t max_per_design = 400);
+
+/// Same, over a precomputed expression index (no recompute).
+std::vector<std::string> collect_expressions(const Corpus& corpus,
+                                             const CorpusExpressions& exprs,
                                              std::size_t max_per_design = 400);
 
 /// Table II row: per-family dataset statistics.
@@ -73,5 +98,10 @@ struct FamilyStats {
 };
 
 std::vector<FamilyStats> corpus_statistics(const Corpus& corpus, int k_hop);
+
+/// Same, over a precomputed expression index (no recompute). Totals are
+/// identical to the k_hop overload by construction.
+std::vector<FamilyStats> corpus_statistics(const Corpus& corpus,
+                                           const CorpusExpressions& exprs);
 
 }  // namespace nettag

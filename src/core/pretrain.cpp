@@ -472,9 +472,15 @@ Mat size_target_of(const Netlist& nl) {
 
 namespace {
 
+/// `shard_exprs` (may be null): precomputed per-cone expressions for this
+/// corpus (the streaming shard embed product) — used instead of re-deriving
+/// them. `outer_steps` (may be null): cross-shard iteration counter backing
+/// halt_after_steps across a whole streaming run.
 PretrainReport pretrain_impl(NetTag& model, const Corpus& corpus,
                              const PretrainOptions& options, Rng& rng,
-                             const TrainState* resume) {
+                             const TrainState* resume,
+                             const CorpusExpressions* shard_exprs = nullptr,
+                             long* outer_steps = nullptr) {
   PretrainReport report;
   Timer timer;
   const TrainCheckpoint& ck = options.checkpoint;
@@ -482,7 +488,7 @@ PretrainReport pretrain_impl(NetTag& model, const Corpus& corpus,
   PhaseCtx ctx;
   if (ck.enabled() || ck.stop || ck.halt_after_steps >= 0) {
     ctx.ck = &ck;
-    ctx.global_steps = &global_steps;
+    ctx.global_steps = outer_steps ? outer_steps : &global_steps;
   }
 
   // A finished run needs no recomputation: report the recorded curves.
@@ -519,6 +525,7 @@ PretrainReport pretrain_impl(NetTag& model, const Corpus& corpus,
 
   auto save_phase_state = [&](TrainState st, std::vector<float> prior) {
     st.prior_losses = std::move(prior);
+    st.shard_index = options.checkpoint_shard;
     save_checkpoint(model, ck.prefix);
     save_train_state(train_state_path(ck.prefix), st);
   };
@@ -531,7 +538,8 @@ PretrainReport pretrain_impl(NetTag& model, const Corpus& corpus,
     expr_losses = resume->prior_losses;
   } else if (model.config().use_text_attributes && options.objective_expr_cl) {
     std::vector<std::string> exprs =
-        collect_expressions(corpus, model.config().k_hop);
+        shard_exprs ? collect_expressions(corpus, *shard_exprs)
+                    : collect_expressions(corpus, model.config().k_hop);
     if (exprs.size() > options.max_expressions) {
       rng_expr.shuffle(exprs);
       exprs.resize(options.max_expressions);
@@ -899,6 +907,101 @@ PretrainReport pretrain_impl(NetTag& model, const Corpus& corpus,
   return report;
 }
 
+/// Streaming driver: trains shard after shard, each on a slice of the global
+/// step budget, with one rng.fork() consumed per shard in index order (the
+/// fixed-order discipline that makes mid-corpus resume bit-identical — a
+/// resumed run re-derives every shard stream without reloading trained
+/// shards). `resume` non-null: skip shards before resume->shard_index, hand
+/// the TrainState to that shard's pretrain_impl, and run the rest fresh.
+PretrainReport pretrain_streaming_impl(NetTag& model,
+                                       const ShardedCorpus& corpus,
+                                       const PretrainOptions& options, Rng& rng,
+                                       const TrainState* resume) {
+  if (!corpus.complete()) {
+    throw std::runtime_error(
+        "pretrain_streaming: corpus manifest is marked incomplete — finish "
+        "build_corpus_stream before training");
+  }
+  const std::size_t shards = corpus.num_shards();
+  if (shards == 0) {
+    throw std::runtime_error("pretrain_streaming: corpus has no shards");
+  }
+  const std::size_t start_shard =
+      resume ? static_cast<std::size_t>(resume->shard_index) : 0;
+  if (start_shard >= shards) {
+    throw std::runtime_error(
+        "resume_pretrain_streaming: checkpoint shard index " +
+        std::to_string(start_shard) + " out of range (corpus has " +
+        std::to_string(shards) + " shards)");
+  }
+  // Shard expressions were embedded at the manifest's k_hop; they substitute
+  // for on-the-fly derivation only when the model agrees.
+  const bool reuse_exprs = corpus.k_hop() == model.config().k_hop;
+
+  // Each phase's step budget is split across shards so the corpus-wide step
+  // count matches the in-memory run's options: shard s of S gets
+  // total*(s+1)/S - total*s/S steps (the remainders spread evenly).
+  auto slice = [shards](int total, std::size_t s) {
+    const long t = static_cast<long>(total);
+    const long n = static_cast<long>(shards);
+    const long lo = t * static_cast<long>(s) / n;
+    const long hi = t * static_cast<long>(s + 1) / n;
+    return static_cast<int>(hi - lo);
+  };
+
+  PretrainReport report;
+  long global_steps = 0;  // halt_after_steps counts across shards
+  for (std::size_t s = 0; s < shards; ++s) {
+    Rng shard_rng = rng.fork();  // always consumed, trained or skipped
+    if (s < start_shard) continue;
+
+    const TrainState* shard_resume = (resume && s == start_shard) ? resume
+                                                                  : nullptr;
+    if (shard_resume && shard_resume->phase == "done") {
+      // This shard finished right before the interruption: its curves come
+      // from the record, and the next shard starts fresh.
+      report.expr_losses.insert(report.expr_losses.end(),
+                                shard_resume->prior_losses.begin(),
+                                shard_resume->prior_losses.end());
+      report.tag_losses.insert(report.tag_losses.end(),
+                               shard_resume->loss_history.begin(),
+                               shard_resume->loss_history.end());
+      continue;
+    }
+
+    const ShardedCorpus::Shard shard = corpus.load(s);
+    PretrainOptions so = options;
+    so.expr_steps = slice(options.expr_steps, s);
+    so.tag_steps = slice(options.tag_steps, s);
+    so.checkpoint_shard = s;
+    const PretrainReport r =
+        pretrain_impl(model, shard.corpus, so, shard_rng, shard_resume,
+                      reuse_exprs ? &shard.exprs : nullptr, &global_steps);
+
+    report.expr_losses.insert(report.expr_losses.end(), r.expr_losses.begin(),
+                              r.expr_losses.end());
+    report.tag_losses.insert(report.tag_losses.end(), r.tag_losses.begin(),
+                             r.tag_losses.end());
+    report.expr_dataset_size += r.expr_dataset_size;
+    report.cones_used += r.cones_used;
+    report.seconds_step1 += r.seconds_step1;
+    report.seconds_step2 += r.seconds_step2;
+    if (r.interrupted) {
+      report.interrupted = true;
+      break;
+    }
+  }
+  if (!report.expr_losses.empty()) {
+    report.expr_loss_first = report.expr_losses.front();
+    report.expr_loss_last = report.expr_losses.back();
+  }
+  if (!report.tag_losses.empty()) {
+    report.tag_loss_first = report.tag_losses.front();
+    report.tag_loss_last = report.tag_losses.back();
+  }
+  return report;
+}
+
 }  // namespace
 
 PretrainReport pretrain(NetTag& model, const Corpus& corpus,
@@ -918,6 +1021,25 @@ PretrainReport resume_pretrain(NetTag& model, const Corpus& corpus,
   // restored *before* cone preparation, whose input features it produces.
   model.load(options.checkpoint.prefix);
   return pretrain_impl(model, corpus, options, rng, &state);
+}
+
+PretrainReport pretrain_streaming(NetTag& model, const ShardedCorpus& corpus,
+                                  const PretrainOptions& options, Rng& rng) {
+  return pretrain_streaming_impl(model, corpus, options, rng, nullptr);
+}
+
+PretrainReport resume_pretrain_streaming(NetTag& model,
+                                         const ShardedCorpus& corpus,
+                                         const PretrainOptions& options,
+                                         Rng& rng) {
+  if (!options.checkpoint.enabled()) {
+    throw std::runtime_error(
+        "resume_pretrain_streaming: options.checkpoint.prefix is empty");
+  }
+  const TrainState state =
+      load_train_state(train_state_path(options.checkpoint.prefix));
+  model.load(options.checkpoint.prefix);
+  return pretrain_streaming_impl(model, corpus, options, rng, &state);
 }
 
 }  // namespace nettag

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "core/corpus_stream.hpp"
 #include "core/dataset.hpp"
 #include "core/nettag.hpp"
 #include "model/gcn.hpp"
@@ -60,6 +61,9 @@ struct PretrainOptions {
   /// Crash-safe checkpointing + cooperative interruption (off by default —
   /// a default TrainCheckpoint leaves training behavior untouched).
   TrainCheckpoint checkpoint;
+  /// Shard index stamped into every TrainState this run saves. Set by the
+  /// streaming driver (pretrain_streaming); leave 0 for in-memory training.
+  std::uint64_t checkpoint_shard = 0;
 };
 
 struct PretrainReport {
@@ -115,5 +119,29 @@ PretrainReport pretrain(NetTag& model, const Corpus& corpus,
 /// checkpoint or a dataset-size mismatch.
 PretrainReport resume_pretrain(NetTag& model, const Corpus& corpus,
                                const PretrainOptions& options, Rng& rng);
+
+/// Streaming pre-training over a sharded out-of-core corpus
+/// (core/corpus_stream.hpp): shards are loaded one at a time, trained on,
+/// and discarded, so peak RAM is bounded by the largest shard instead of
+/// the corpus. Each shard runs the full two-step curriculum on a slice of
+/// the global step budget (shard s of S gets steps*(s+1)/S - steps*s/S of
+/// each phase); embedded shard expressions are reused when the model's
+/// k_hop matches the corpus manifest. Checkpoints record the shard index
+/// plus the intra-shard phase/step cursor, so resume lands mid-corpus.
+///
+/// The returned report aggregates the shards this call actually trained
+/// (loss curves concatenated in shard order).
+PretrainReport pretrain_streaming(NetTag& model, const ShardedCorpus& corpus,
+                                  const PretrainOptions& options, Rng& rng);
+
+/// Continues an interrupted pretrain_streaming from
+/// options.checkpoint.prefix. Same reconstruction contract as
+/// resume_pretrain; committed shards before the checkpoint's shard index
+/// are skipped by consuming their RNG forks (never reloaded), and the
+/// remainder of the corpus trains bit-identically to an uninterrupted run.
+PretrainReport resume_pretrain_streaming(NetTag& model,
+                                         const ShardedCorpus& corpus,
+                                         const PretrainOptions& options,
+                                         Rng& rng);
 
 }  // namespace nettag

@@ -15,7 +15,10 @@ namespace nettag {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4e545331;  // "NTS1"
+// "NTS2": v2 appends shard_index (streaming pre-training). Old "NTS1"
+// records are rejected by magic — checkpoints are session-scoped artifacts,
+// not long-lived archives, so there is no legacy-read path.
+constexpr std::uint32_t kMagic = 0x4e545332;
 
 // The record is serialized into one contiguous buffer so the trailing CRC
 // can cover every preceding byte; fields are little-endian fixed-width.
@@ -150,6 +153,7 @@ void save_train_state(const std::string& path, const TrainState& state) {
   put_floats(buf, state.loss_history);
   put_floats(buf, state.prior_losses);
   put_u64(buf, state.dataset_size);
+  put_u64(buf, state.shard_index);
   put_u32(buf, crc32(buf));
 
   AtomicFileWriter writer(path, /*binary=*/true);
@@ -195,6 +199,7 @@ TrainState load_train_state(const std::string& path) {
   state.loss_history = r.get_floats();
   state.prior_losses = r.get_floats();
   state.dataset_size = r.get_u64();
+  state.shard_index = r.get_u64();
   if (r.consumed() != buf.size()) {
     throw std::runtime_error(
         "load_train_state: file longer than its declared payload: " + path);

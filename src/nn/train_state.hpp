@@ -76,6 +76,10 @@ struct TrainState {
   /// Size of the training set the loop was iterating (sanity check: a
   /// resume that prepared a different dataset cannot be bit-identical).
   std::uint64_t dataset_size = 0;
+  /// Streaming pre-training: index of the corpus shard the loop was
+  /// consuming (core/corpus_stream.hpp). Always 0 for in-memory training,
+  /// so the classic path round-trips unchanged.
+  std::uint64_t shard_index = 0;
 };
 
 /// The TrainState file for a checkpoint prefix: `<prefix>.trainer.bin`.

@@ -155,18 +155,10 @@ std::vector<Bus> build_fsm(Synthesizer& syn, Rng& rng, const Bus& stimulus) {
 
 }  // namespace
 
-GeneratedDesign generate_design(const FamilyProfile& profile, Rng& rng,
-                                const std::string& design_name) {
-  Synthesizer syn(design_name);
-  const int width = rng.uniform_int(profile.min_width, profile.max_width);
-  const int stages = rng.uniform_int(profile.min_stages, profile.max_stages);
-
-  // Primary inputs.
-  std::vector<Bus> pool;
-  const int n_inputs = rng.uniform_int(2, 3);
-  for (int i = 0; i < n_inputs; ++i) {
-    pool.push_back(syn.input("in" + std::to_string(i), width));
-  }
+BlockResult build_block(Synthesizer& syn, const FamilyProfile& profile,
+                        Rng& rng, std::vector<Bus> inputs, int width,
+                        int stages) {
+  std::vector<Bus> pool = std::move(inputs);
   std::vector<Bus> ctrl;  // 1-bit control signals
 
   // Optional FSM controller.
@@ -326,18 +318,15 @@ GeneratedDesign generate_design(const FamilyProfile& profile, Rng& rng,
     pool.push_back(result);
   }
 
-  // Ensure the design is sequential: register the last stage if none exists.
-  if (syn.netlist().registers().empty()) {
-    pool.push_back(syn.reg_bank(pool.back(), "datapath", false));
-  }
+  BlockResult out;
+  out.pool = std::move(pool);
+  out.ctrl = std::move(ctrl);
+  return out;
+}
 
-  // Mark outputs: a couple of pool buses (prefer late stages).
-  const int n_out = rng.uniform_int(1, 2);
-  for (int i = 0; i < n_out; ++i) {
-    syn.mark_outputs(pool[pool.size() - 1 - static_cast<std::size_t>(i) %
-                                                pool.size()]);
-  }
-
+GeneratedDesign finalize_design(Synthesizer& syn, const FamilyProfile& profile,
+                                Rng& rng, const std::string& design_name,
+                                const std::string& context) {
   GeneratedDesign out;
   out.rtl_text = syn.rtl_text();
   out.reg_rtl = syn.reg_rtl();
@@ -350,8 +339,40 @@ GeneratedDesign generate_design(const FamilyProfile& profile, Rng& rng,
   out.netlist.validate();
   // Post-synthesis lint seam: refuse to emit a structurally broken design
   // (rule ids and severities in docs/ARCHITECTURE.md §6).
-  enforce_clean(lint_netlist(out.netlist), "rtlgen " + design_name);
+  enforce_clean(lint_netlist(out.netlist), context + " " + design_name);
   return out;
+}
+
+GeneratedDesign generate_design(const FamilyProfile& profile, Rng& rng,
+                                const std::string& design_name) {
+  Synthesizer syn(design_name);
+  const int width = rng.uniform_int(profile.min_width, profile.max_width);
+  const int stages = rng.uniform_int(profile.min_stages, profile.max_stages);
+
+  // Primary inputs.
+  std::vector<Bus> inputs;
+  const int n_inputs = rng.uniform_int(2, 3);
+  for (int i = 0; i < n_inputs; ++i) {
+    inputs.push_back(syn.input("in" + std::to_string(i), width));
+  }
+
+  BlockResult blk =
+      build_block(syn, profile, rng, std::move(inputs), width, stages);
+  std::vector<Bus>& pool = blk.pool;
+
+  // Ensure the design is sequential: register the last stage if none exists.
+  if (syn.netlist().registers().empty()) {
+    pool.push_back(syn.reg_bank(pool.back(), "datapath", false));
+  }
+
+  // Mark outputs: a couple of pool buses (prefer late stages).
+  const int n_out = rng.uniform_int(1, 2);
+  for (int i = 0; i < n_out; ++i) {
+    syn.mark_outputs(pool[pool.size() - 1 - static_cast<std::size_t>(i) %
+                                                pool.size()]);
+  }
+
+  return finalize_design(syn, profile, rng, design_name, "rtlgen");
 }
 
 std::vector<GeneratedDesign> generate_corpus(const FamilyProfile& profile,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "rtlgen/synthesizer.hpp"
 #include "util/rng.hpp"
 
 namespace nettag {
@@ -50,6 +51,28 @@ const std::vector<FamilyProfile>& benchmark_families();
 
 /// Profile lookup by name; throws std::invalid_argument if unknown.
 const FamilyProfile& family_profile(const std::string& name);
+
+/// One RTL block: optional FSM / counter / LFSR / CRC sequential units plus
+/// `stages` weighted datapath stages over `inputs` (every bus must be
+/// `width` bits). The reusable unit both the flat generator and the
+/// hierarchical composer (rtlgen/hierarchy.hpp) build designs from.
+struct BlockResult {
+  /// Every bus the block produced, starting with `inputs`; later entries
+  /// come from later stages (pick from the back for "block outputs").
+  std::vector<Bus> pool;
+  std::vector<Bus> ctrl;  ///< 1-bit control signals (FSM outputs, compares)
+};
+
+BlockResult build_block(Synthesizer& syn, const FamilyProfile& profile,
+                        Rng& rng, std::vector<Bus> inputs, int width,
+                        int stages);
+
+/// Shared tail of every generator: takes the synthesized netlist, applies
+/// technology diversification (`logic_rewrite`) + cleanup, validates, and
+/// lints. `context` names the caller in lint diagnostics.
+GeneratedDesign finalize_design(Synthesizer& syn, const FamilyProfile& profile,
+                                Rng& rng, const std::string& design_name,
+                                const std::string& context);
 
 /// Generates one design. The result's netlist is validated, cleaned up and
 /// cell-diversified; it always contains at least one register.

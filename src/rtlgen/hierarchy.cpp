@@ -1,0 +1,66 @@
+#include "rtlgen/hierarchy.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace nettag {
+
+GeneratedDesign generate_hierarchical_design(const FamilyProfile& profile,
+                                             const HierarchyOptions& options,
+                                             Rng& rng,
+                                             const std::string& design_name) {
+  Synthesizer syn(design_name);
+  const int width = rng.uniform_int(profile.min_width, profile.max_width);
+
+  std::vector<Bus> primary;
+  const int n_inputs = rng.uniform_int(2, 3);
+  for (int i = 0; i < n_inputs; ++i) {
+    primary.push_back(syn.input("in" + std::to_string(i), width));
+  }
+
+  // Shared submodules: built once from the primary inputs, their registered
+  // outputs feed every pipeline level below (fanout across the hierarchy is
+  // what distinguishes these cones from the flat corpus).
+  std::vector<Bus> shared;
+  for (int s = 0; s < options.shared_blocks; ++s) {
+    const int stages = rng.uniform_int(profile.min_stages, profile.max_stages);
+    BlockResult blk = build_block(syn, profile, rng, primary, width, stages);
+    shared.push_back(syn.reg_bank(blk.pool.back(), "datapath",
+                                  /*state_reg=*/false));
+  }
+
+  // Pipelined top level: each level's blocks consume buses from the previous
+  // level plus the shared submodules, and export their result through a
+  // register bank — the inter-level bus that makes the whole design one
+  // synchronous pipeline.
+  std::vector<Bus> feed = primary;
+  feed.insert(feed.end(), shared.begin(), shared.end());
+  std::vector<Bus> last_level = feed;
+  for (int level = 0; level < options.levels; ++level) {
+    const int n_blocks = rng.uniform_int(options.min_blocks_per_level,
+                                         options.max_blocks_per_level);
+    std::vector<Bus> outs;
+    for (int b = 0; b < n_blocks; ++b) {
+      std::vector<Bus> ins;
+      const int n_ins = rng.uniform_int(2, 3);
+      for (int i = 0; i < n_ins; ++i) {
+        ins.push_back(feed[rng.index(feed.size())]);
+      }
+      const int stages =
+          rng.uniform_int(profile.min_stages, profile.max_stages);
+      BlockResult blk =
+          build_block(syn, profile, rng, std::move(ins), width, stages);
+      outs.push_back(syn.reg_bank(blk.pool.back(), "datapath",
+                                  /*state_reg=*/false));
+    }
+    last_level = outs;
+    feed = std::move(outs);
+    feed.insert(feed.end(), shared.begin(), shared.end());
+  }
+
+  for (const Bus& o : last_level) syn.mark_outputs(o);
+
+  return finalize_design(syn, profile, rng, design_name, "rtlgen-hier");
+}
+
+}  // namespace nettag

@@ -1,0 +1,39 @@
+// Hierarchical design composition: repository-scale netlists.
+//
+// The flat generator (generator.hpp) emits single-block designs of a few
+// hundred gates — far below the repository-scale netlists the paper
+// pre-trains on. This module composes many such blocks inside one
+// Synthesizer into a hierarchical design: a set of *shared submodules*
+// (instantiated once, consumed by several downstream blocks — the reused IP
+// of a real SoC), and a *pipelined top level* whose levels are separated by
+// register banks (the inter-block bus). Every block keeps its own FSM /
+// counter / datapath flavour from the family profile, so per-gate ground
+// truth (RTL block labels, state registers, per-register RTL text) is
+// exactly as rich as in flat designs — there is just 10-100x more of it.
+#pragma once
+
+#include <string>
+
+#include "rtlgen/generator.hpp"
+
+namespace nettag {
+
+/// Shape of one hierarchical design. Defaults give roughly 10x the gate
+/// count of a flat design from the same profile; raise `levels` /
+/// `blocks_per_level` / `shared_blocks` for up to ~100x.
+struct HierarchyOptions {
+  int levels = 3;              ///< pipeline depth of the top level
+  int min_blocks_per_level = 2;
+  int max_blocks_per_level = 3;
+  int shared_blocks = 2;       ///< submodules reused by every level
+};
+
+/// Generates one hierarchical design. Deterministic given `rng`'s state;
+/// same finalize path (rewrite + cleanup + validate + lint) as
+/// generate_design, and always sequential (pipeline registers guarantee it).
+GeneratedDesign generate_hierarchical_design(const FamilyProfile& profile,
+                                             const HierarchyOptions& options,
+                                             Rng& rng,
+                                             const std::string& design_name);
+
+}  // namespace nettag

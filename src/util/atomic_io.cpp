@@ -1,13 +1,52 @@
 #include "util/atomic_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 namespace nettag {
 
+namespace {
+
+/// Per-process writer counter: two live writers targeting the same final
+/// path get distinct temp files even within one process.
+std::atomic<std::uint64_t> writer_counter{0};
+
+std::string unique_tmp_path(const std::string& final_path) {
+  return final_path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(writer_counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Directory part of `path` ("." when the path has no separator).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync(2) the named file or directory. Returns false on open/sync failure
+/// with errno preserved for the caller's message.
+bool sync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  return rc == 0;
+}
+
+}  // namespace
+
 AtomicFileWriter::AtomicFileWriter(std::string final_path, bool binary)
-    : final_path_(std::move(final_path)), tmp_path_(final_path_ + ".tmp") {
+    : final_path_(std::move(final_path)),
+      tmp_path_(unique_tmp_path(final_path_)) {
   const std::ios_base::openmode mode =
       binary ? std::ios::binary | std::ios::trunc : std::ios::trunc;
   out_.open(tmp_path_, mode);
@@ -24,23 +63,36 @@ AtomicFileWriter::~AtomicFileWriter() {
 }
 
 void AtomicFileWriter::commit() {
+  auto fail = [&](const std::string& why) -> std::runtime_error {
+    std::remove(tmp_path_.c_str());
+    return std::runtime_error("AtomicFileWriter: " + why);
+  };
   out_.flush();
   if (!out_) {
     out_.close();
-    std::remove(tmp_path_.c_str());
-    throw std::runtime_error("AtomicFileWriter: write failed for " +
-                             tmp_path_);
+    throw fail("write failed for " + tmp_path_);
   }
   out_.close();
   if (out_.fail()) {
-    std::remove(tmp_path_.c_str());
-    throw std::runtime_error("AtomicFileWriter: close failed for " +
-                             tmp_path_);
+    throw fail("close failed for " + tmp_path_);
+  }
+  // Data must be durable *before* the rename becomes durable: a power loss
+  // after the rename reaches disk but before the data does would leave a
+  // committed-looking empty/torn file — exactly what this class exists to
+  // prevent.
+  if (!sync_path(tmp_path_, /*directory=*/false)) {
+    throw fail(std::string("fsync failed for ") + tmp_path_ + ": " +
+               std::strerror(errno));
   }
   if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
-    std::remove(tmp_path_.c_str());
-    throw std::runtime_error("AtomicFileWriter: cannot rename " + tmp_path_ +
-                             " onto " + final_path_);
+    throw fail("cannot rename " + tmp_path_ + " onto " + final_path_);
+  }
+  // And the rename itself must be durable: sync the directory entry so a
+  // crash cannot roll the directory back to a state that never saw the file.
+  if (!sync_path(parent_dir(final_path_), /*directory=*/true)) {
+    throw std::runtime_error("AtomicFileWriter: fsync failed for directory " +
+                             parent_dir(final_path_) + ": " +
+                             std::strerror(errno));
   }
   committed_ = true;
 }

@@ -1,14 +1,20 @@
-// Crash-safe file emission: write the complete payload to `<path>.tmp`,
-// then rename onto the final path. POSIX rename within one directory is
-// atomic, so a reader never observes a torn file — it sees either the old
-// checkpoint or the new one, never a half-written mix — and a crash mid-save
-// leaves at most a stale `.tmp` beside an intact previous copy. Every
-// checkpoint/manifest emitter in the repo goes through this writer; nothing
-// writes a checkpoint directly to its final path.
+// Crash-safe file emission: write the complete payload to a per-writer
+// temp file, fsync it, rename onto the final path, then fsync the parent
+// directory. POSIX rename within one directory is atomic, so a reader never
+// observes a torn file — it sees either the old checkpoint or the new one,
+// never a half-written mix — and a crash mid-save leaves at most a stale
+// temp file beside an intact previous copy. The two fsyncs close the
+// power-loss window rename alone leaves open: without them the rename can
+// reach disk before the data (or the directory entry), durably committing a
+// renamed-but-empty file. Every checkpoint/manifest/shard emitter in the
+// repo goes through this writer; nothing writes a checkpoint directly to
+// its final path.
 //
-// The temp name is derived from the final path, so concurrent writers of the
-// *same* path would race on it; checkpoints have a single writer (the
-// training process) by contract.
+// The temp name folds in the process id and a per-process counter, so
+// concurrent writers of the *same* final path (a training checkpointer
+// racing a serve `reload`, two corpus builders sharing a directory) never
+// clobber each other's temp file; last rename wins and both files are
+// complete.
 #pragma once
 
 #include <fstream>
@@ -21,8 +27,9 @@ namespace nettag {
 /// temp file and leaves the final path untouched.
 class AtomicFileWriter {
  public:
-  /// Opens `<final_path>.tmp` for writing (truncating any stale leftover).
-  /// Throws std::runtime_error when the temp file cannot be opened.
+  /// Opens `<final_path>.tmp.<pid>.<n>` for writing (`n` a per-process
+  /// counter, so two live writers never share a temp path). Throws
+  /// std::runtime_error when the temp file cannot be opened.
   AtomicFileWriter(std::string final_path, bool binary);
   ~AtomicFileWriter();
 
@@ -31,9 +38,13 @@ class AtomicFileWriter {
 
   std::ofstream& stream() { return out_; }
 
-  /// Flushes, closes, and renames the temp file onto the final path.
-  /// Throws std::runtime_error on any write/close/rename failure (the temp
-  /// file is removed, the final path keeps its previous content).
+  /// The private temp path this writer streams to (exposed for tests).
+  const std::string& tmp_path() const { return tmp_path_; }
+
+  /// Flushes, fsyncs, closes, renames the temp file onto the final path,
+  /// and fsyncs the parent directory so the rename itself is durable.
+  /// Throws std::runtime_error on any write/sync/close/rename failure (the
+  /// temp file is removed, the final path keeps its previous content).
   void commit();
 
  private:

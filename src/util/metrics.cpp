@@ -15,10 +15,15 @@ ClassificationReport classification_report(const std::vector<int>& y_true,
   if (y_true.empty()) return rep;
 
   std::size_t correct = 0;
-  // Per-class confusion counts keyed by label.
-  std::map<int, std::size_t> tp, fp, fn, support;
+  // Per-class confusion counts keyed by label. `classes` is the union of
+  // true and predicted labels: a class that appears only in predictions
+  // still enters the macro average (as a pure-false-positive 0-precision
+  // term) instead of escaping the penalty entirely.
+  std::map<int, std::size_t> tp, fp, fn;
+  std::map<int, bool> classes;
   for (std::size_t i = 0; i < y_true.size(); ++i) {
-    support[y_true[i]]++;
+    classes[y_true[i]] = true;
+    classes[y_pred[i]] = true;
     if (y_true[i] == y_pred[i]) {
       ++correct;
       tp[y_true[i]]++;
@@ -28,10 +33,11 @@ ClassificationReport classification_report(const std::vector<int>& y_true,
     }
   }
   rep.accuracy = static_cast<double>(correct) / static_cast<double>(y_true.size());
-  rep.num_classes = support.size();
+  rep.num_classes = classes.size();
 
   double prec_sum = 0.0, rec_sum = 0.0, f1_sum = 0.0;
-  for (const auto& [cls, sup] : support) {
+  for (const auto& [cls, present] : classes) {
+    (void)present;
     const double tpc = static_cast<double>(tp[cls]);
     const double fpc = static_cast<double>(fp[cls]);
     const double fnc = static_cast<double>(fn[cls]);
@@ -42,7 +48,7 @@ ClassificationReport classification_report(const std::vector<int>& y_true,
     rec_sum += rec;
     f1_sum += f1;
   }
-  const double k = static_cast<double>(support.size());
+  const double k = static_cast<double>(classes.size());
   rep.precision = prec_sum / k;
   rep.recall = rec_sum / k;
   rep.f1 = f1_sum / k;

@@ -9,15 +9,18 @@
 namespace nettag {
 
 /// Aggregate classification metrics. Precision/recall/F1 are macro-averaged
-/// over the classes that appear in the ground truth (matching how GNN-RE /
-/// Table III report per-design scores).
+/// over the union of classes appearing in the ground truth or the
+/// predictions: a class that is only ever *predicted* contributes its false
+/// positives as a 0-precision term, so hallucinated classes penalize macro
+/// precision instead of silently vanishing (sklearn's labels=union
+/// semantics; per-class scores still match GNN-RE / Table III).
 struct ClassificationReport {
   double accuracy = 0.0;
   double precision = 0.0;  ///< macro
   double recall = 0.0;     ///< macro
   double f1 = 0.0;         ///< macro
   std::size_t num_samples = 0;
-  std::size_t num_classes = 0;
+  std::size_t num_classes = 0;  ///< distinct classes in y_true ∪ y_pred
 };
 
 /// Computes macro classification metrics; labels are small non-negative ints.

@@ -14,6 +14,7 @@
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
 #include "nn/train_state.hpp"
+#include "util/atomic_io.hpp"
 
 namespace nettag {
 namespace {
@@ -244,6 +245,73 @@ TEST(Serialize, WritersLeaveNoTempFileBehind) {
   std::remove(man.c_str());
 }
 
+TEST(Serialize, ConcurrentWritersGetDistinctTempPaths) {
+  // Two live writers targeting the same final path must never share a temp
+  // file (a fixed ".tmp" suffix would make them clobber each other mid-write
+  // and commit a torn mix of both payloads).
+  const std::string path = "/tmp/nettag_ser_concurrent.bin";
+  AtomicFileWriter a(path, /*binary=*/true);
+  AtomicFileWriter b(path, /*binary=*/true);
+  EXPECT_NE(a.tmp_path(), b.tmp_path());
+  EXPECT_NE(a.tmp_path(), path);
+  EXPECT_NE(b.tmp_path(), path);
+
+  const std::string payload_a(256, 'A');
+  const std::string payload_b(512, 'B');
+  // Interleave writes: with distinct temp files neither sees the other's
+  // bytes. (With a shared temp file these writes would interleave into one
+  // stream and the final file would be a mix.)
+  a.stream().write(payload_a.data(), 128);
+  b.stream().write(payload_b.data(), 512);
+  a.stream().write(payload_a.data() + 128, 128);
+  a.commit();
+  EXPECT_EQ(read_file(path), payload_a);
+  b.commit();  // last rename wins; both are complete files
+  EXPECT_EQ(read_file(path), payload_b);
+  EXPECT_FALSE(file_exists(a.tmp_path()));
+  EXPECT_FALSE(file_exists(b.tmp_path()));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, AbandonedWriterRemovesOnlyItsOwnTempFile) {
+  const std::string path = "/tmp/nettag_ser_abandon.bin";
+  std::string dead_tmp;
+  {
+    AtomicFileWriter keeper(path, /*binary=*/false);
+    keeper.stream() << "kept";
+    {
+      AtomicFileWriter doomed(path, /*binary=*/false);
+      doomed.stream() << "discarded";
+      dead_tmp = doomed.tmp_path();
+      // destroyed without commit: its temp file must vanish...
+    }
+    EXPECT_FALSE(file_exists(dead_tmp));
+    // ...while the surviving writer's temp file is untouched.
+    EXPECT_TRUE(file_exists(keeper.tmp_path()));
+    keeper.commit();
+  }
+  EXPECT_EQ(read_file(path), "kept");
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CommitSurvivesCrashSimulationAtEveryStage) {
+  // The commit sequence is flush -> fsync(tmp) -> rename -> fsync(dir).
+  // We cannot unplug the machine in a unit test, but we can assert the
+  // observable contract: after commit() returns, the final path holds the
+  // complete payload and no temp file remains; before commit(), the final
+  // path is untouched however much has been streamed.
+  const std::string path = "/tmp/nettag_ser_stages.bin";
+  write_file(path, "previous");
+  AtomicFileWriter w(path, /*binary=*/true);
+  const std::string big(1 << 16, 'z');  // larger than the stream buffer
+  w.stream().write(big.data(), static_cast<std::streamsize>(big.size()));
+  EXPECT_EQ(read_file(path), "previous") << "final path mutated pre-commit";
+  w.commit();
+  EXPECT_EQ(read_file(path).size(), big.size());
+  EXPECT_FALSE(file_exists(w.tmp_path()));
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, ManifestTruncationAndCorruptionRejected) {
   const std::string path = "/tmp/nettag_man_crash.ckpt";
   const std::vector<std::pair<std::string, std::string>> entries = {
@@ -294,6 +362,7 @@ TrainState sample_train_state() {
   st.loss_history = {9.0f, 8.5f, 8.0f};
   st.prior_losses = {4.0f, 3.0f};
   st.dataset_size = 120;
+  st.shard_index = 5;
   return st;
 }
 
@@ -314,6 +383,7 @@ TEST(TrainState, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.loss_history, st.loss_history);
   EXPECT_EQ(back.prior_losses, st.prior_losses);
   EXPECT_EQ(back.dataset_size, st.dataset_size);
+  EXPECT_EQ(back.shard_index, st.shard_index);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,498 @@
+// Streaming repository-scale corpus (docs/ARCHITECTURE.md §13): hierarchical
+// design composition, durable out-of-core shards, crash/resume determinism,
+// and mid-corpus training resume. The kill -9 scenarios are modeled by
+// halting the builder after N shards (halt_after_shards follows the same
+// commit path a real kill interrupts: every committed shard is already
+// fsync'd and renamed, the in-flight one simply never appears).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "core/corpus_stream.hpp"
+#include "core/pretrain.hpp"
+#include "netlist/io.hpp"
+#include "nn/train_state.hpp"
+#include "rtlgen/hierarchy.hpp"
+
+namespace fs = std::filesystem;
+
+namespace nettag {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// --- hierarchical generation -------------------------------------------------
+
+TEST(Hierarchy, ComposedDesignDwarfsFlatOnes) {
+  const FamilyProfile& profile = family_profile("vexriscv");
+  // Flat baseline: mean gate count over a few seeds.
+  std::size_t flat_total = 0;
+  const int flat_runs = 4;
+  for (int i = 0; i < flat_runs; ++i) {
+    Rng rng(100 + i);
+    flat_total += generate_design(profile, rng, "flat").netlist.size();
+  }
+  const double flat_mean =
+      static_cast<double>(flat_total) / static_cast<double>(flat_runs);
+
+  // Per-design variance is large (random stage kinds), so both hierarchical
+  // measurements average a few seeds too.
+  const HierarchyOptions defaults;  // the ~10x configuration
+  HierarchyOptions big;             // the ~100x direction
+  big.levels = 6;
+  big.min_blocks_per_level = 4;
+  big.max_blocks_per_level = 5;
+  big.shared_blocks = 4;
+  std::size_t hier_total = 0, big_total = 0;
+  const int hier_runs = 3;
+  for (int i = 0; i < hier_runs; ++i) {
+    Rng r1(100 + i), r2(100 + i);
+    hier_total +=
+        generate_hierarchical_design(profile, defaults, r1, "hier").netlist.size();
+    big_total +=
+        generate_hierarchical_design(profile, big, r2, "big").netlist.size();
+  }
+  const double hier_mean =
+      static_cast<double>(hier_total) / static_cast<double>(hier_runs);
+  const double big_mean =
+      static_cast<double>(big_total) / static_cast<double>(hier_runs);
+  EXPECT_GE(hier_mean, 10.0 * flat_mean)
+      << "hier_mean=" << hier_mean << " flat_mean=" << flat_mean;
+  // Raising the knobs keeps scaling toward repository size.
+  EXPECT_GE(big_mean, 2.0 * hier_mean)
+      << "big_mean=" << big_mean << " hier_mean=" << hier_mean;
+}
+
+TEST(Hierarchy, DeterministicAndGroundTruthRich) {
+  const FamilyProfile& profile = family_profile("opencores");
+  HierarchyOptions opts;
+  Rng a(42), b(42);
+  const GeneratedDesign d1 =
+      generate_hierarchical_design(profile, opts, a, "dup");
+  const GeneratedDesign d2 =
+      generate_hierarchical_design(profile, opts, b, "dup");
+  EXPECT_EQ(netlist_to_string(d1.netlist), netlist_to_string(d2.netlist));
+  EXPECT_EQ(d1.rtl_text, d2.rtl_text);
+  EXPECT_EQ(d1.reg_rtl, d2.reg_rtl);
+
+  // Pipeline cuts guarantee registers, and every register keeps its aligned
+  // RTL cone text (the per-register ground truth flat designs have).
+  std::size_t dffs = 0;
+  for (const Gate& g : d1.netlist.gates()) {
+    if (g.type == CellType::kDff) {
+      ++dffs;
+      EXPECT_TRUE(d1.reg_rtl.count(g.name)) << g.name;
+    }
+  }
+  EXPECT_GT(dffs, 0u);
+}
+
+TEST(Hierarchy, LintClean) {
+  Rng rng(7);
+  const GeneratedDesign d = generate_hierarchical_design(
+      family_profile("itc99"), HierarchyOptions{}, rng, "clean");
+  const LintReport report = lint_netlist(d.netlist, LintOptions{});
+  EXPECT_FALSE(report.has_errors()) << to_text(report);
+}
+
+// --- shared expression index (Table II / ExprLLM dataset) --------------------
+
+TEST(Dataset, PrecomputedExpressionIndexMatchesDirectDerivation) {
+  Rng rng(0xd5);
+  CorpusOptions co;
+  co.designs_per_family = 1;
+  co.with_physical = false;
+  const Corpus corpus = build_corpus(co, rng);
+  const CorpusExpressions index = corpus_expressions(corpus, co.k_hop);
+
+  ASSERT_EQ(index.size(), corpus.designs.size());
+  for (std::size_t d = 0; d < index.size(); ++d) {
+    ASSERT_EQ(index[d].size(), corpus.designs[d].cones.size());
+  }
+
+  // The training-set collector and the statistics table must see exactly the
+  // same expressions whether they derive them or reuse the index.
+  EXPECT_EQ(collect_expressions(corpus, co.k_hop),
+            collect_expressions(corpus, index));
+  EXPECT_EQ(collect_expressions(corpus, co.k_hop, 10),
+            collect_expressions(corpus, index, 10));
+
+  const std::vector<FamilyStats> direct = corpus_statistics(corpus, co.k_hop);
+  const std::vector<FamilyStats> shared = corpus_statistics(corpus, index);
+  ASSERT_EQ(direct.size(), shared.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].family, shared[i].family);
+    EXPECT_EQ(direct[i].expr_count, shared[i].expr_count);
+    EXPECT_EQ(direct[i].avg_expr_tokens, shared[i].avg_expr_tokens);
+    EXPECT_EQ(direct[i].cone_count, shared[i].cone_count);
+    EXPECT_EQ(direct[i].avg_cone_nodes, shared[i].avg_cone_nodes);
+  }
+}
+
+// --- streaming corpus builder + reader ---------------------------------------
+
+StreamOptions small_stream_options(bool with_physical = false) {
+  StreamOptions so;
+  so.designs_per_family = 1;  // 4 designs total (one per family)
+  so.designs_per_shard = 2;   // -> 2 shards
+  so.hierarchical = false;    // flat designs keep the test fast
+  so.corpus.with_physical = with_physical;
+  so.corpus.placement_passes = 1;
+  return so;
+}
+
+TEST(Stream, BuildAndLoadRoundTrip) {
+  const std::string dir = temp_dir("nettag_stream_roundtrip");
+  std::vector<ShardStats> seen;
+  const StreamProgress progress = build_corpus_stream(
+      dir, small_stream_options(/*with_physical=*/true), 0xabc,
+      [&](const ShardStats& s) { seen.push_back(s); });
+  EXPECT_TRUE(progress.complete);
+  EXPECT_EQ(progress.shards_total, 2u);
+  EXPECT_EQ(progress.shards_written, 2u);
+  EXPECT_EQ(progress.designs, 4u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_FALSE(seen[0].skipped);
+  EXPECT_GT(seen[0].gates, 0u);
+  EXPECT_GT(seen[0].expressions, 0u);
+
+  const ShardedCorpus corpus(dir);
+  EXPECT_EQ(corpus.num_shards(), 2u);
+  EXPECT_TRUE(corpus.complete());
+  EXPECT_EQ(corpus.seed(), 0xabcu);
+  EXPECT_EQ(corpus.total_designs(), 4u);
+  EXPECT_EQ(corpus.families().size(), 4u);
+
+  std::size_t designs = 0;
+  for (std::size_t s = 0; s < corpus.num_shards(); ++s) {
+    const ShardedCorpus::Shard shard = corpus.load(s);
+    EXPECT_EQ(shard.corpus.families, corpus.families());
+    ASSERT_EQ(shard.exprs.size(), shard.corpus.designs.size());
+    for (std::size_t d = 0; d < shard.corpus.designs.size(); ++d) {
+      const DesignSample& ds = shard.corpus.designs[d];
+      ++designs;
+      EXPECT_GT(ds.gen.netlist.size(), 0u);
+      EXPECT_FALSE(ds.gen.rtl_text.empty());
+      EXPECT_FALSE(ds.cones.empty());
+      // Physical labels survived the round trip.
+      EXPECT_GT(ds.area_wo_opt, 0.0);
+      EXPECT_GT(ds.power_wo_opt, 0.0);
+      ASSERT_EQ(shard.exprs[d].size(), ds.cones.size());
+      for (std::size_t c = 0; c < ds.cones.size(); ++c) {
+        const ConeSample& cone = ds.cones[c];
+        EXPECT_FALSE(cone.rtl_text.empty());
+        if (cone.has_layout) EXPECT_FALSE(cone.layout.node_feats.empty());
+        // The embedded expressions are the embed stage's derivation from the
+        // pre-serialization cone. Netlist round-tripping canonicalizes gate
+        // order, so compare as multisets: same expressions, every one
+        // re-derivable from the stored cone.
+        std::vector<std::string> embedded = shard.exprs[d][c];
+        std::vector<std::string> derived =
+            cone_expressions(cone.cone, corpus.k_hop());
+        std::sort(embedded.begin(), embedded.end());
+        std::sort(derived.begin(), derived.end());
+        EXPECT_EQ(embedded, derived);
+      }
+    }
+    // The shard-level lint gate held: the loaded corpus is clean too.
+    const LintReport report = lint_corpus(shard.corpus, LintOptions{});
+    EXPECT_FALSE(report.has_errors()) << to_text(report);
+  }
+  EXPECT_EQ(designs, 4u);
+  fs::remove_all(dir);
+}
+
+TEST(Stream, InterruptedBuildResumesBitIdentically) {
+  const std::string dir_a = temp_dir("nettag_stream_straight");
+  const std::string dir_b = temp_dir("nettag_stream_resumed");
+  const StreamOptions so = small_stream_options();
+
+  const StreamProgress straight = build_corpus_stream(dir_a, so, 0xfeed);
+  EXPECT_TRUE(straight.complete);
+
+  // "Crash" after the first shard: the manifest lists exactly the committed
+  // prefix and stays resumable.
+  StreamOptions halted = so;
+  halted.halt_after_shards = 1;
+  const StreamProgress partial = build_corpus_stream(dir_b, halted, 0xfeed);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.shards_written, 1u);
+  {
+    const ShardedCorpus mid(dir_b);
+    EXPECT_FALSE(mid.complete());
+    EXPECT_EQ(mid.num_shards(), 1u);
+  }
+
+  // Resume: committed shards are skipped (fork consumption, no recompute),
+  // the remainder regenerates, and every byte matches the straight run.
+  std::vector<ShardStats> seen;
+  const StreamProgress resumed = build_corpus_stream(
+      dir_b, so, 0xfeed, [&](const ShardStats& s) { seen.push_back(s); });
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.shards_skipped, 1u);
+  EXPECT_EQ(resumed.shards_written, 1u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[0].skipped);
+  EXPECT_FALSE(seen[1].skipped);
+
+  const ShardedCorpus a(dir_a), b(dir_b);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  for (std::size_t s = 0; s < a.num_shards(); ++s) {
+    EXPECT_EQ(read_file(a.shard_path(s)), read_file(b.shard_path(s)))
+        << "shard " << s;
+  }
+  EXPECT_EQ(read_file(dir_a + "/corpus.manifest"),
+            read_file(dir_b + "/corpus.manifest"));
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+TEST(Stream, TruncatedShardRejectedWithLineAndOffset) {
+  const std::string dir = temp_dir("nettag_stream_truncated");
+  build_corpus_stream(dir, small_stream_options(), 0x11);
+  const ShardedCorpus corpus(dir);
+  const std::string path = corpus.shard_path(0);
+  const std::string original = read_file(path);
+
+  auto expect_rejected = [&](const std::string& mutated,
+                             const std::string& what) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    try {
+      corpus.load(0);
+      FAIL() << what << ": corrupt shard was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(path), std::string::npos) << what << ": " << msg;
+      EXPECT_NE(msg.find("line "), std::string::npos) << what << ": " << msg;
+      EXPECT_NE(msg.find("byte offset "), std::string::npos)
+          << what << ": " << msg;
+    }
+  };
+
+  // Torn write: the tail (including the checksum line) is gone.
+  expect_rejected(original.substr(0, original.size() / 2), "truncated");
+  // Bit rot: length intact, one byte flipped — the checksum catches it.
+  std::string flipped = original;
+  flipped[flipped.size() / 3] ^= 0x20;
+  expect_rejected(flipped, "corrupted");
+
+  // Restore and confirm the reader still accepts the intact shard.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << original;
+  }
+  EXPECT_NO_THROW(corpus.load(0));
+  fs::remove_all(dir);
+}
+
+TEST(Stream, OptionMismatchRefusedInsteadOfMixingCorpora) {
+  const std::string dir = temp_dir("nettag_stream_mismatch");
+  build_corpus_stream(dir, small_stream_options(), 0x21);
+  // Same directory, different seed: resuming would interleave two unrelated
+  // corpora, so the builder must refuse.
+  EXPECT_THROW(build_corpus_stream(dir, small_stream_options(), 0x22),
+               std::runtime_error);
+  StreamOptions other = small_stream_options();
+  other.designs_per_shard = 3;
+  EXPECT_THROW(build_corpus_stream(dir, other, 0x21), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+// --- streaming pre-training with mid-corpus resume ---------------------------
+
+NetTagConfig tiny_config() {
+  NetTagConfig cfg;
+  cfg.expr_llm = TextEncoderConfig::tiny();
+  cfg.tag_d_model = 32;
+  cfg.out_dim = 24;
+  return cfg;
+}
+
+PretrainOptions stream_pretrain_options() {
+  PretrainOptions po;
+  po.expr_steps = 4;  // 2 shards -> 2 expr + 2 tag steps per shard
+  po.tag_steps = 4;
+  po.aux_steps = 0;
+  po.max_expressions = 60;
+  po.max_cones = 8;
+  po.objective_align = false;
+  return po;
+}
+
+const std::string& shared_stream_dir() {
+  // ctest runs each TEST in its own process, possibly in parallel, so the
+  // corpus path must be per-process: a fixed path would let one process
+  // remove_all the directory while another is mid-read.
+  static const std::string dir = [] {
+    const std::string d = temp_dir("nettag_stream_pretrain_corpus." +
+                                   std::to_string(::getpid()));
+    build_corpus_stream(d, small_stream_options(), 0x77);
+    return d;
+  }();
+  return dir;
+}
+
+std::vector<float> model_params(const NetTag& model) {
+  std::vector<float> out = flatten_param_values(model.expr_llm().params());
+  const std::vector<float> tag =
+      flatten_param_values(model.tagformer().params());
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+void remove_checkpoint(const std::string& prefix) {
+  for (const char* suffix :
+       {".ckpt", ".exprllm.bin", ".tagformer.bin", ".trainer.bin"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+struct RunResult {
+  std::vector<float> params;
+  PretrainReport report;
+};
+
+RunResult run_streaming(const std::string& prefix, long halt_after) {
+  NetTag model(tiny_config(), 5);
+  const ShardedCorpus corpus(shared_stream_dir());
+  PretrainOptions po = stream_pretrain_options();
+  po.checkpoint.prefix = prefix;
+  po.checkpoint.halt_after_steps = halt_after;
+  Rng rng(7);
+  RunResult out;
+  out.report = pretrain_streaming(model, corpus, po, rng);
+  out.params = model_params(model);
+  return out;
+}
+
+RunResult resume_streaming(const std::string& prefix, long halt_after = -1) {
+  NetTag model(tiny_config(), 99);  // trained state must come from the disk
+  const ShardedCorpus corpus(shared_stream_dir());
+  PretrainOptions po = stream_pretrain_options();
+  po.checkpoint.prefix = prefix;
+  po.checkpoint.halt_after_steps = halt_after;
+  Rng rng(7);
+  RunResult out;
+  out.report = resume_pretrain_streaming(model, corpus, po, rng);
+  out.params = model_params(model);
+  return out;
+}
+
+void expect_identical_params(const RunResult& resumed,
+                             const RunResult& baseline) {
+  ASSERT_EQ(resumed.params.size(), baseline.params.size());
+  for (std::size_t i = 0; i < resumed.params.size(); ++i) {
+    ASSERT_EQ(resumed.params[i], baseline.params[i]) << "param lane " << i;
+  }
+}
+
+TEST(StreamPretrain, SplitsStepBudgetAcrossShards) {
+  const RunResult full = run_streaming("", -1);
+  EXPECT_FALSE(full.report.interrupted);
+  // Both shards trained: the concatenated curves carry the full budget.
+  EXPECT_EQ(full.report.expr_losses.size(), 4u);
+  EXPECT_EQ(full.report.tag_losses.size(), 4u);
+  EXPECT_GT(full.report.expr_dataset_size, 0u);
+  EXPECT_GT(full.report.cones_used, 0u);
+}
+
+TEST(StreamPretrain, MidCorpusResumeBitIdentical) {
+  const std::string prefix =
+      (fs::temp_directory_path() / "nettag_stream_resume_mid").string();
+  const RunResult baseline = run_streaming("", -1);
+
+  // Shard 0 runs 2 expr + 2 tag steps; halting after 5 lands inside shard 1,
+  // so the checkpoint must carry shard_index = 1 plus the intra-shard cursor.
+  const RunResult halted = run_streaming(prefix, /*halt_after=*/5);
+  EXPECT_TRUE(halted.report.interrupted);
+  const TrainState st = load_train_state(train_state_path(prefix));
+  EXPECT_EQ(st.shard_index, 1u);
+  EXPECT_EQ(st.phase, "expr");
+
+  const RunResult resumed = resume_streaming(prefix);
+  EXPECT_FALSE(resumed.report.interrupted);
+  expect_identical_params(resumed, baseline);
+  // The resumed call reports the shards it touched: all of shard 1's curve.
+  const std::vector<float> tail_expr(baseline.report.expr_losses.begin() + 2,
+                                     baseline.report.expr_losses.end());
+  const std::vector<float> tail_tag(baseline.report.tag_losses.begin() + 2,
+                                    baseline.report.tag_losses.end());
+  EXPECT_EQ(resumed.report.expr_losses, tail_expr);
+  EXPECT_EQ(resumed.report.tag_losses, tail_tag);
+  remove_checkpoint(prefix);
+}
+
+TEST(StreamPretrain, FirstShardInterruptionChainsToIdenticalEnd) {
+  const std::string prefix =
+      (fs::temp_directory_path() / "nettag_stream_resume_first").string();
+  const RunResult baseline = run_streaming("", -1);
+
+  // Stop inside shard 0's tag phase, resume, stop again inside shard 1, and
+  // finish: two generations of mid-corpus checkpoints.
+  const RunResult halted = run_streaming(prefix, /*halt_after=*/3);
+  EXPECT_TRUE(halted.report.interrupted);
+  EXPECT_EQ(load_train_state(train_state_path(prefix)).shard_index, 0u);
+
+  const RunResult mid = resume_streaming(prefix, /*halt_after=*/3);
+  EXPECT_TRUE(mid.report.interrupted);
+  EXPECT_EQ(load_train_state(train_state_path(prefix)).shard_index, 1u);
+
+  const RunResult resumed = resume_streaming(prefix);
+  expect_identical_params(resumed, baseline);
+  remove_checkpoint(prefix);
+}
+
+TEST(StreamPretrain, CompletedRunResumesAsNoOp) {
+  const std::string prefix =
+      (fs::temp_directory_path() / "nettag_stream_resume_done").string();
+  const RunResult finished = run_streaming(prefix, -1);
+  EXPECT_FALSE(finished.report.interrupted);
+  const TrainState st = load_train_state(train_state_path(prefix));
+  EXPECT_EQ(st.phase, "done");
+  EXPECT_EQ(st.shard_index, 1u);  // last shard
+
+  const RunResult again = resume_streaming(prefix);
+  EXPECT_FALSE(again.report.interrupted);
+  expect_identical_params(again, finished);
+  remove_checkpoint(prefix);
+}
+
+TEST(StreamPretrain, IncompleteCorpusRejected) {
+  const std::string dir = temp_dir("nettag_stream_incomplete");
+  StreamOptions so = small_stream_options();
+  so.halt_after_shards = 1;
+  build_corpus_stream(dir, so, 0x31);
+  NetTag model(tiny_config(), 5);
+  const ShardedCorpus corpus(dir);
+  PretrainOptions po = stream_pretrain_options();
+  Rng rng(7);
+  EXPECT_THROW(pretrain_streaming(model, corpus, po, rng), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace nettag

@@ -104,6 +104,35 @@ TEST(Metrics, KnownConfusion) {
   EXPECT_NEAR(rep.recall, 0.75, 1e-12);
 }
 
+TEST(Metrics, SpuriousPredictedClassPenalizesMacroAverages) {
+  // Class 2 never occurs in the ground truth but is predicted once. It must
+  // enter the macro average as a 0-precision / 0-recall term rather than
+  // being dropped (historically the average ran over y_true classes only,
+  // so a model hallucinating an extra class paid no macro penalty).
+  const std::vector<int> yt = {0, 0, 1, 1};
+  const std::vector<int> yp = {0, 2, 1, 1};
+  const auto rep = classification_report(yt, yp);
+  EXPECT_EQ(rep.num_classes, 3u);
+  EXPECT_DOUBLE_EQ(rep.accuracy, 0.75);
+  // class0: P=1, R=0.5; class1: P=1, R=1; class2: P=0 (1 FP), R=0 (no truth).
+  EXPECT_NEAR(rep.precision, (1.0 + 1.0 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(rep.recall, (0.5 + 1.0 + 0.0) / 3.0, 1e-12);
+  // class0: F1 = 2*1*0.5/1.5 = 2/3; class1: 1; class2: 0.
+  EXPECT_NEAR(rep.f1, (2.0 / 3.0 + 1.0 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(Metrics, UnionMatchesTrueClassesWhenNoSpuriousPredictions) {
+  // When predictions stay inside the true label set, the union fix is a
+  // no-op: same report as the historical y_true-classes-only average.
+  const std::vector<int> yt = {3, 3, 5, 5, 5};
+  const std::vector<int> yp = {3, 5, 5, 5, 3};
+  const auto rep = classification_report(yt, yp);
+  EXPECT_EQ(rep.num_classes, 2u);
+  // class3: P=0.5, R=0.5; class5: P=2/3, R=2/3.
+  EXPECT_NEAR(rep.precision, (0.5 + 2.0 / 3.0) / 2.0, 1e-12);
+  EXPECT_NEAR(rep.recall, (0.5 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
 TEST(Metrics, EmptyInputSafe) {
   const auto rep = classification_report({}, {});
   EXPECT_EQ(rep.num_samples, 0u);

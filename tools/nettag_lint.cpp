@@ -9,6 +9,11 @@
 //                                      netlists into D, and lint the full
 //                                      in-memory corpus (cones, TAGs,
 //                                      layout graphs, labels included)
+//   nettag_lint [flags] --shards D     validate and lint a sharded corpus
+//                                      directory (core/corpus_stream.hpp):
+//                                      manifest + per-shard checksums, then
+//                                      the full corpus rules shard by shard
+//                                      (one shard in RAM at a time)
 //   nettag_lint --rules                print the rule catalog and exit
 //   nettag_lint --tape                 record one training step per shipped
 //                                      model config, dump the autograd tapes
@@ -33,10 +38,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "core/corpus_stream.hpp"
 #include "core/dataset.hpp"
 #include "core/tag.hpp"
 #include "model/graph.hpp"
@@ -60,6 +67,7 @@ void usage(std::FILE* to) {
                "                   [--disable RULE]... <path>...\n"
                "       nettag_lint [--json] [--deep] --generate DIR\n"
                "                   [--designs N] [--seed S] [--no-physical]\n"
+               "       nettag_lint [--json] [--deep] --shards DIR\n"
                "       nettag_lint --rules\n"
                "       nettag_lint --tape\n");
 }
@@ -153,6 +161,47 @@ LintReport lint_generated(const fs::path& dir, int designs_per_family,
       for (const ConeSample& c : d.cones) {
         report.merge(lint_tag(c.cone, build_tag(c.cone, opts.k_hop), opts),
                      d.gen.netlist.name() + "/" + c.register_name);
+      }
+    }
+  }
+  return report;
+}
+
+/// Validates and lints a sharded corpus directory. Manifest or shard
+/// integrity failures (truncation, checksum mismatch — the reader reports
+/// the exact line and byte offset) become IO001 errors; intact shards run
+/// the same corpus rules as --generate, one shard in RAM at a time.
+LintReport lint_shards(const fs::path& dir, const LintOptions& opts) {
+  LintReport report;
+  std::unique_ptr<ShardedCorpus> corpus;
+  try {
+    corpus = std::make_unique<ShardedCorpus>(dir.string());
+  } catch (const std::exception& e) {
+    report.add("IO001", Severity::kError, dir.string(), e.what());
+    return report;
+  }
+  if (!corpus->complete()) {
+    report.add("IO001", Severity::kWarning, dir.string(),
+               "corpus manifest is marked incomplete (build was interrupted; "
+               "resumable)");
+  }
+  LintOptions sopts = opts;
+  sopts.k_hop = corpus->k_hop();  // match the shard-embedded expressions
+  for (std::size_t s = 0; s < corpus->num_shards(); ++s) {
+    ShardedCorpus::Shard shard;
+    try {
+      shard = corpus->load(s);
+    } catch (const std::exception& e) {
+      report.add("IO001", Severity::kError, corpus->shard_path(s), e.what());
+      continue;
+    }
+    report.merge(lint_corpus(shard.corpus, sopts));
+    if (sopts.deep) {
+      for (const DesignSample& d : shard.corpus.designs) {
+        for (const ConeSample& c : d.cones) {
+          report.merge(lint_tag(c.cone, build_tag(c.cone, sopts.k_hop), sopts),
+                       d.gen.netlist.name() + "/" + c.register_name);
+        }
       }
     }
   }
@@ -284,6 +333,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0x5eed;
   fs::path generate_dir;
   bool generate = false;
+  fs::path shards_dir;
+  bool shards = false;
   LintOptions opts;
   std::vector<fs::path> paths;
 
@@ -327,6 +378,10 @@ int main(int argc, char** argv) {
       generate = true;
       generate_dir = need_value(i);
       ++i;
+    } else if (!std::strcmp(arg, "--shards")) {
+      shards = true;
+      shards_dir = need_value(i);
+      ++i;
     } else if (!std::strcmp(arg, "--designs")) {
       designs_per_family = static_cast<int>(need_int(i, 1, 1 << 20));
       ++i;
@@ -356,7 +411,11 @@ int main(int argc, char** argv) {
   if (tape_mode) {
     return tape_audit();
   }
-  if (!generate && paths.empty()) {
+  if (generate && shards) {
+    std::fprintf(stderr, "nettag_lint: --generate and --shards are exclusive\n");
+    return 2;
+  }
+  if (!generate && !shards && paths.empty()) {
     usage(stderr);
     return 2;
   }
@@ -371,6 +430,8 @@ int main(int argc, char** argv) {
     if (generate) {
       report = lint_generated(generate_dir, designs_per_family, seed,
                               with_physical, opts);
+    } else if (shards) {
+      report = lint_shards(shards_dir, opts);
     } else {
       for (const fs::path& p : paths) {
         for (const fs::path& file : expand_path(p)) {

@@ -8,16 +8,26 @@
 //                                         state is bit-identical to the
 //                                         uninterrupted run (same
 //                                         NETTAG_THREADS width)
+//   nettag_train --build-corpus DIR       stream a sharded out-of-core
+//                                         corpus into DIR (resumable: a
+//                                         re-run skips committed shards)
 //   nettag_train --help                   usage (exit 0)
 //
 // Flags (--out only — a resume replays the recorded run exactly):
 //   --seed S              corpus/model seed (default 0x5eed)
 //   --designs N           designs per family (default 1)
+//   --corpus DIR          train from a sharded corpus built by
+//                         --build-corpus instead of an in-memory one
+//                         (excludes --designs; resume lands mid-corpus)
 //   --tiny                compact ExprLLM (CI-scale runs)
 //   --no-align            drop objective #3 and the physical flow
 //   --expr-steps N        step-1 iteration count
 //   --tag-steps N         step-2 iteration count
-// Flags (both modes):
+// Flags (--build-corpus; --seed/--designs/--no-align also apply):
+//   --shard-designs N     designs per shard file (default 4; peak RAM bound)
+//   --flat                flat single-block designs instead of hierarchical
+//   --halt-shards N       stop after N new shards (test hook; resumable)
+// Flags (--out / --resume):
 //   --checkpoint-every N  also checkpoint every N steps of a phase
 //                         (phase boundaries and stop always checkpoint)
 //   --halt-after N        stop cleanly after N loop steps (test hook; acts
@@ -38,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "core/corpus_stream.hpp"
 #include "core/pretrain.hpp"
 #include "nn/serialize.hpp"
 #include "util/cli.hpp"
@@ -51,18 +62,24 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: nettag_train --out PREFIX [--seed S] [--designs N]\n"
-               "                    [--tiny] [--no-align] [--expr-steps N]\n"
-               "                    [--tag-steps N] [--checkpoint-every N]\n"
-               "                    [--halt-after N]\n"
+               "                    [--corpus DIR] [--tiny] [--no-align]\n"
+               "                    [--expr-steps N] [--tag-steps N]\n"
+               "                    [--checkpoint-every N] [--halt-after N]\n"
                "       nettag_train --resume PREFIX [--checkpoint-every N]\n"
                "                    [--halt-after N]\n"
+               "       nettag_train --build-corpus DIR [--seed S]\n"
+               "                    [--designs N] [--shard-designs N]\n"
+               "                    [--flat] [--no-align] [--halt-shards N]\n"
                "       nettag_train --help\n"
                "\n"
                "Pre-trains NetTAG with crash-safe checkpoints under PREFIX\n"
                "(PREFIX.ckpt + .exprllm.bin/.tagformer.bin/.trainer.bin plus\n"
                "a PREFIX.run manifest of the run parameters). SIGINT/SIGTERM\n"
                "finish the current step, checkpoint, and exit 0; --resume\n"
-               "continues bit-identically. See docs/ARCHITECTURE.md sec. 8.\n");
+               "continues bit-identically. --build-corpus streams a sharded\n"
+               "out-of-core corpus (durable shard files + manifest) that\n"
+               "--out --corpus trains on one shard at a time. See\n"
+               "docs/ARCHITECTURE.md sec. 8 and sec. 13.\n");
 }
 
 /// The run parameters a resume must replay exactly. Recorded in
@@ -71,6 +88,9 @@ void usage(std::FILE* to) {
 struct RunSpec {
   std::uint64_t seed = 0x5eed;
   int designs = 1;
+  /// Sharded corpus directory ("": build an in-memory corpus). Recorded so
+  /// --resume re-opens the same corpus and lands mid-corpus.
+  std::string corpus_dir;
   bool tiny = false;
   bool align = true;
   int expr_steps = -1;  ///< -1: PretrainOptions default (resolved on write)
@@ -83,9 +103,13 @@ std::string run_manifest_path(const std::string& prefix) {
 
 void write_run_manifest(const std::string& prefix, const RunSpec& s) {
   std::vector<std::pair<std::string, std::string>> entries;
-  entries.emplace_back("format", "1");
+  // Format 2 adds the `corpus` key (sharded-corpus training). Run manifests
+  // are session-scoped companions of a checkpoint prefix, so there is no
+  // format-1 read path (same policy as TrainState's magic bump).
+  entries.emplace_back("format", "2");
   entries.emplace_back("seed", std::to_string(s.seed));
   entries.emplace_back("designs", std::to_string(s.designs));
+  entries.emplace_back("corpus", s.corpus_dir);
   entries.emplace_back("tiny", s.tiny ? "1" : "0");
   entries.emplace_back("align", s.align ? "1" : "0");
   entries.emplace_back("expr_steps", std::to_string(s.expr_steps));
@@ -107,8 +131,9 @@ RunSpec read_run_manifest(const std::string& prefix) {
     if (it == kv.end()) throw fail(std::string("missing key '") + key + "'");
     return it->second;
   };
-  if (get("format") != "1") throw fail("unknown format '" + get("format") + "'");
+  if (get("format") != "2") throw fail("unknown format '" + get("format") + "'");
   RunSpec s;
+  s.corpus_dir = get("corpus");
   std::string err;
   if (!cli::parse_u64(get("seed").c_str(), &s.seed, &err)) throw fail(err);
   long long v = 0;
@@ -129,10 +154,14 @@ RunSpec read_run_manifest(const std::string& prefix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_prefix, resume_prefix;
+  std::string out_prefix, resume_prefix, build_corpus_dir;
   RunSpec spec;
   int checkpoint_every = 0;
   long halt_after = -1;
+  int shard_designs = 4;
+  bool flat = false;
+  int halt_shards = 0;
+  bool designs_flag = false;
   // A resume replays the recorded run; run-shaping flags next to --resume
   // are almost certainly a mistake, so they are rejected instead of being
   // silently ignored (they could not be honored bit-identically anyway).
@@ -167,6 +196,21 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(arg, "--resume")) {
       resume_prefix = need_value(i);
       ++i;
+    } else if (!std::strcmp(arg, "--build-corpus")) {
+      build_corpus_dir = need_value(i);
+      ++i;
+    } else if (!std::strcmp(arg, "--corpus")) {
+      spec.corpus_dir = need_value(i);
+      run_flags_seen.push_back(arg);
+      ++i;
+    } else if (!std::strcmp(arg, "--shard-designs")) {
+      shard_designs = static_cast<int>(need_int(i, 1, 1 << 20));
+      ++i;
+    } else if (!std::strcmp(arg, "--flat")) {
+      flat = true;
+    } else if (!std::strcmp(arg, "--halt-shards")) {
+      halt_shards = static_cast<int>(need_int(i, 1, 1 << 30));
+      ++i;
     } else if (!std::strcmp(arg, "--seed")) {
       std::string err;
       if (!cli::parse_u64(need_value(i), &spec.seed, &err)) {
@@ -177,6 +221,7 @@ int main(int argc, char** argv) {
       ++i;
     } else if (!std::strcmp(arg, "--designs")) {
       spec.designs = static_cast<int>(need_int(i, 1, 1 << 20));
+      designs_flag = true;
       run_flags_seen.push_back(arg);
       ++i;
     } else if (!std::strcmp(arg, "--tiny")) {
@@ -207,9 +252,57 @@ int main(int argc, char** argv) {
   }
 
   const bool resuming = !resume_prefix.empty();
-  if (resuming == !out_prefix.empty()) {
-    std::fprintf(stderr, "nettag_train: exactly one of --out / --resume is required\n");
+  const int modes = (out_prefix.empty() ? 0 : 1) + (resuming ? 1 : 0) +
+                    (build_corpus_dir.empty() ? 0 : 1);
+  if (modes != 1) {
+    std::fprintf(stderr,
+                 "nettag_train: exactly one of --out / --resume / "
+                 "--build-corpus is required\n");
     usage(stderr);
+    return 2;
+  }
+
+  // ------------------------- --build-corpus mode ---------------------------
+  if (!build_corpus_dir.empty()) {
+    StreamOptions sopt;
+    sopt.designs_per_family = spec.designs;
+    sopt.designs_per_shard = shard_designs;
+    sopt.hierarchical = !flat;
+    sopt.halt_after_shards = halt_shards;
+    sopt.corpus.with_physical = spec.align;
+    try {
+      const StreamProgress p = build_corpus_stream(
+          build_corpus_dir, sopt, spec.seed, [](const ShardStats& s) {
+            if (s.skipped) {
+              std::fprintf(stderr,
+                           "nettag_train: shard %zu already committed, skipped\n",
+                           s.index);
+            } else {
+              std::fprintf(stderr,
+                           "nettag_train: shard %zu committed (%zu design(s), "
+                           "%zu cone(s), %zu gate(s), %zu expression(s), "
+                           "%zu bytes)\n",
+                           s.index, s.designs, s.cones, s.gates, s.expressions,
+                           s.bytes);
+            }
+          });
+      std::fprintf(stderr,
+                   "nettag_train: corpus %s: %zu/%zu shard(s) committed "
+                   "(%zu new, %zu skipped)\n",
+                   p.complete ? "complete" : "incomplete (resumable)",
+                   p.shards_written + p.shards_skipped, p.shards_total,
+                   p.shards_written, p.shards_skipped);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nettag_train: corpus build failed: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (!spec.corpus_dir.empty() && designs_flag) {
+    std::fprintf(stderr,
+                 "nettag_train: --designs conflicts with --corpus (the shard "
+                 "manifest fixes the corpus shape)\n");
     return 2;
   }
   if (resuming && !run_flags_seen.empty()) {
@@ -249,25 +342,48 @@ int main(int argc, char** argv) {
   po.checkpoint.stop = install_stop_signals();
 
   Rng rng(spec.seed);
-  CorpusOptions co;
-  co.designs_per_family = spec.designs;
-  co.with_physical = spec.align;
-  std::fprintf(stderr, "nettag_train: building corpus (seed %#llx, %d design(s) per family)...\n",
-               static_cast<unsigned long long>(spec.seed), spec.designs);
-  const Corpus corpus = build_corpus(co, rng);
-
   NetTag model(mc, spec.seed ^ 0x7a67);
   Timer t;
   PretrainReport report;
   try {
-    if (resuming) {
-      std::fprintf(stderr, "nettag_train: resuming from '%s'...\n", prefix.c_str());
-      report = resume_pretrain(model, corpus, po, rng);
+    if (!spec.corpus_dir.empty()) {
+      // Sharded out-of-core corpus: one shard in RAM at a time.
+      const ShardedCorpus corpus(spec.corpus_dir);
+      std::fprintf(stderr,
+                   "nettag_train: sharded corpus '%s' (%zu shard(s), %zu "
+                   "design(s), seed %#llx)\n",
+                   spec.corpus_dir.c_str(), corpus.num_shards(),
+                   corpus.total_designs(),
+                   static_cast<unsigned long long>(corpus.seed()));
+      if (resuming) {
+        std::fprintf(stderr, "nettag_train: resuming from '%s'...\n",
+                     prefix.c_str());
+        report = resume_pretrain_streaming(model, corpus, po, rng);
+      } else {
+        write_run_manifest(prefix, spec);
+        std::fprintf(stderr,
+                     "nettag_train: pre-training (%d expr + %d tag steps "
+                     "across shards)...\n",
+                     po.expr_steps, po.tag_steps);
+        report = pretrain_streaming(model, corpus, po, rng);
+      }
     } else {
-      write_run_manifest(prefix, spec);
-      std::fprintf(stderr, "nettag_train: pre-training (%d expr + %d tag steps)...\n",
-                   po.expr_steps, po.tag_steps);
-      report = pretrain(model, corpus, po, rng);
+      CorpusOptions co;
+      co.designs_per_family = spec.designs;
+      co.with_physical = spec.align;
+      std::fprintf(stderr,
+                   "nettag_train: building corpus (seed %#llx, %d design(s) per family)...\n",
+                   static_cast<unsigned long long>(spec.seed), spec.designs);
+      const Corpus corpus = build_corpus(co, rng);
+      if (resuming) {
+        std::fprintf(stderr, "nettag_train: resuming from '%s'...\n", prefix.c_str());
+        report = resume_pretrain(model, corpus, po, rng);
+      } else {
+        write_run_manifest(prefix, spec);
+        std::fprintf(stderr, "nettag_train: pre-training (%d expr + %d tag steps)...\n",
+                     po.expr_steps, po.tag_steps);
+        report = pretrain(model, corpus, po, rng);
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "nettag_train: %s failed: %s\n",
